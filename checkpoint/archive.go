@@ -1,0 +1,231 @@
+package checkpoint
+
+// Multi-field archives: real simulation checkpoints carry many named
+// variables (pressure, temperature, velocity components, ...). An
+// Archive packs any number of named fields — each with its own
+// compressor configuration — into a single ARC-protected stream.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	arc "repro"
+	"repro/internal/pressio"
+)
+
+const (
+	archiveMagic   = "ACKA"
+	archiveVersion = 1
+	// maxArchiveFields bounds header-driven allocations.
+	maxArchiveFields = 1 << 16
+)
+
+// ArchiveWriter accumulates named fields and writes them as one
+// protected stream.
+type ArchiveWriter struct {
+	fields []archiveField
+}
+
+type archiveField struct {
+	name       string
+	compressor string
+	bound      float64
+	dims       []int
+	compressed []byte
+}
+
+// NewArchiveWriter creates an empty archive.
+func NewArchiveWriter() *ArchiveWriter { return &ArchiveWriter{} }
+
+// Add compresses a field under the given per-field options and queues
+// it. Field names must be unique and at most 255 bytes.
+func (aw *ArchiveWriter) Add(name string, data []float64, dims []int, opts Options) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("checkpoint: invalid field name %q", name)
+	}
+	for _, f := range aw.fields {
+		if f.name == name {
+			return fmt.Errorf("checkpoint: duplicate field %q", name)
+		}
+	}
+	opts = opts.withDefaults()
+	comp, err := pressio.New(opts.Compressor, opts.Bound)
+	if err != nil {
+		return err
+	}
+	compressed, err := comp.Compress(data, dims)
+	if err != nil {
+		return fmt.Errorf("checkpoint: field %q: %w", name, err)
+	}
+	aw.fields = append(aw.fields, archiveField{
+		name:       name,
+		compressor: opts.Compressor,
+		bound:      opts.Bound,
+		dims:       append([]int(nil), dims...),
+		compressed: compressed,
+	})
+	return nil
+}
+
+// Fields returns the names queued so far, in insertion order.
+func (aw *ArchiveWriter) Fields() []string {
+	out := make([]string, len(aw.fields))
+	for i, f := range aw.fields {
+		out[i] = f.name
+	}
+	return out
+}
+
+// WriteTo protects the archive with ARC under the given constraints
+// and writes it to w. The archive (including all metadata) travels
+// inside the ARC stream.
+func (aw *ArchiveWriter) WriteTo(w io.Writer, a *arc.ARC, mem, bw float64, res arc.Resiliency, chunkBytes int) error {
+	var payload bytes.Buffer
+	payload.WriteString(archiveMagic)
+	payload.WriteByte(archiveVersion)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(aw.fields)))
+	payload.Write(scratch[:4])
+	for _, f := range aw.fields {
+		payload.WriteByte(byte(len(f.name)))
+		payload.WriteString(f.name)
+		payload.WriteByte(byte(len(f.compressor)))
+		payload.WriteString(f.compressor)
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f.bound))
+		payload.Write(scratch[:])
+		payload.WriteByte(byte(len(f.dims)))
+		for _, d := range f.dims {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(d))
+			payload.Write(scratch[:4])
+		}
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(f.compressed)))
+		payload.Write(scratch[:4])
+		payload.Write(f.compressed)
+	}
+	pw, err := a.NewWriter(w, mem, bw, res, chunkBytes)
+	if err != nil {
+		return err
+	}
+	if _, err := pw.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return pw.Close()
+}
+
+// ArchiveField is one loaded field.
+type ArchiveField struct {
+	Name       string
+	Compressor string
+	Bound      float64
+	Dims       []int
+	Data       []float64
+}
+
+// Archive is a loaded multi-field checkpoint.
+type Archive struct {
+	Fields  []ArchiveField
+	Repairs arc.StreamReport
+}
+
+// Get returns a field by name (nil when absent).
+func (ar *Archive) Get(name string) *ArchiveField {
+	for i := range ar.Fields {
+		if ar.Fields[i].Name == name {
+			return &ar.Fields[i]
+		}
+	}
+	return nil
+}
+
+// LoadArchive reads an archive from r, repairing soft errors through
+// ARC and decompressing every field.
+func LoadArchive(r io.Reader, workers int) (*Archive, error) {
+	pr := arc.NewReader(r, workers)
+	payload, err := io.ReadAll(pr)
+	if err != nil {
+		return nil, err
+	}
+	rd := bytes.NewReader(payload)
+	hdr := make([]byte, len(archiveMagic)+1)
+	if _, err := io.ReadFull(rd, hdr); err != nil || string(hdr[:len(archiveMagic)]) != archiveMagic {
+		return nil, fmt.Errorf("%w: bad archive magic", ErrFormat)
+	}
+	if hdr[len(archiveMagic)] != archiveVersion {
+		return nil, fmt.Errorf("%w: unsupported archive version %d", ErrFormat, hdr[len(archiveMagic)])
+	}
+	var scratch [8]byte
+	if _, err := io.ReadFull(rd, scratch[:4]); err != nil {
+		return nil, fmt.Errorf("%w: truncated field count", ErrFormat)
+	}
+	count := int(binary.LittleEndian.Uint32(scratch[:4]))
+	if count < 0 || count > maxArchiveFields {
+		return nil, fmt.Errorf("%w: implausible field count %d", ErrFormat, count)
+	}
+	ar := &Archive{Repairs: pr.Report()}
+	readStr := func() (string, error) {
+		var l [1]byte
+		if _, err := io.ReadFull(rd, l[:]); err != nil {
+			return "", err
+		}
+		b := make([]byte, l[0])
+		if _, err := io.ReadFull(rd, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	for i := 0; i < count; i++ {
+		name, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: field %d name", ErrFormat, i)
+		}
+		compName, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("%w: field %q compressor", ErrFormat, name)
+		}
+		if _, err := io.ReadFull(rd, scratch[:]); err != nil {
+			return nil, fmt.Errorf("%w: field %q bound", ErrFormat, name)
+		}
+		bound := math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+		var nd [1]byte
+		if _, err := io.ReadFull(rd, nd[:]); err != nil || nd[0] < 1 || nd[0] > 3 {
+			return nil, fmt.Errorf("%w: field %q dims", ErrFormat, name)
+		}
+		dims := make([]int, nd[0])
+		for j := range dims {
+			if _, err := io.ReadFull(rd, scratch[:4]); err != nil {
+				return nil, fmt.Errorf("%w: field %q dims", ErrFormat, name)
+			}
+			dims[j] = int(binary.LittleEndian.Uint32(scratch[:4]))
+		}
+		if _, err := io.ReadFull(rd, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("%w: field %q length", ErrFormat, name)
+		}
+		clen := int(binary.LittleEndian.Uint32(scratch[:4]))
+		if clen < 0 || clen > rd.Len() {
+			return nil, fmt.Errorf("%w: field %q length %d", ErrFormat, name, clen)
+		}
+		compressed := make([]byte, clen)
+		if _, err := io.ReadFull(rd, compressed); err != nil {
+			return nil, fmt.Errorf("%w: field %q payload", ErrFormat, name)
+		}
+		comp, err := pressio.New(compName, bound)
+		if err != nil {
+			return nil, fmt.Errorf("%w: field %q: %v", ErrFormat, name, err)
+		}
+		data, gotDims, err := comp.Decompress(compressed)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: field %q: %w", name, err)
+		}
+		ar.Fields = append(ar.Fields, ArchiveField{
+			Name:       name,
+			Compressor: compName,
+			Bound:      bound,
+			Dims:       gotDims,
+			Data:       data,
+		})
+	}
+	return ar, nil
+}

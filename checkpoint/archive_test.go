@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	arc "repro"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	a := testARC(t)
+	cesm := datasets.CESM(24, 48, 10)
+	isabel := datasets.Isabel(4, 12, 12, 11)
+
+	aw := NewArchiveWriter()
+	if err := aw.Add("cldlow", cesm.Data, cesm.Dims, Options{Compressor: "SZ-ABS", Bound: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Add("pressure", isabel.Data, isabel.Dims, Options{Compressor: "ZFP-ACC", Bound: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := aw.Fields(); len(got) != 2 || got[0] != "cldlow" || got[1] != "pressure" {
+		t.Fatalf("fields %v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := aw.WriteTo(&buf, a, arc.AnyMem, arc.AnyBW, arc.WithErrorsPerMB(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := LoadArchive(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Fields) != 2 {
+		t.Fatalf("loaded %d fields", len(ar.Fields))
+	}
+	cf := ar.Get("cldlow")
+	if cf == nil || cf.Compressor != "SZ-ABS" || cf.Bound != 0.01 {
+		t.Fatalf("cldlow metadata %+v", cf)
+	}
+	if i := metrics.VerifyBound(cesm.Data, cf.Data, metrics.BoundAbs, 0.01); i != -1 {
+		t.Fatalf("cldlow bound violated at %d", i)
+	}
+	pf := ar.Get("pressure")
+	if pf == nil || pf.Dims[0] != 4 {
+		t.Fatalf("pressure metadata %+v", pf)
+	}
+	if i := metrics.VerifyBound(isabel.Data, pf.Data, metrics.BoundAbs, 0.5); i != -1 {
+		t.Fatalf("pressure bound violated at %d", i)
+	}
+	if ar.Get("missing") != nil {
+		t.Fatal("absent field must return nil")
+	}
+}
+
+func TestArchiveSurvivesFlips(t *testing.T) {
+	a := testARC(t)
+	cesm := datasets.CESM(16, 16, 12)
+	aw := NewArchiveWriter()
+	if err := aw.Add("f", cesm.Data, cesm.Dims, Options{Bound: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := aw.WriteTo(&buf, a, arc.AnyMem, arc.AnyBW, arc.WithErrorsPerMB(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		mut := append([]byte(nil), buf.Bytes()...)
+		bit := rng.Intn(len(mut) * 8)
+		mut[bit/8] ^= 0x80 >> (bit % 8)
+		ar, err := LoadArchive(bytes.NewReader(mut), 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if i := metrics.VerifyBound(cesm.Data, ar.Get("f").Data, metrics.BoundAbs, 0.01); i != -1 {
+			t.Fatalf("trial %d: bound violated after repair", trial)
+		}
+	}
+}
+
+func TestArchiveValidation(t *testing.T) {
+	aw := NewArchiveWriter()
+	if err := aw.Add("", []float64{1}, []int{1}, Options{}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := aw.Add("x", []float64{1}, []int{1}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Add("x", []float64{1}, []int{1}, Options{}); err == nil {
+		t.Fatal("duplicate name must fail")
+	}
+	if err := aw.Add("y", []float64{1}, []int{2}, Options{}); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+	if err := aw.Add("z", []float64{1}, []int{1}, Options{Compressor: "LZ4"}); err == nil {
+		t.Fatal("unknown compressor must fail")
+	}
+	if _, err := LoadArchive(bytes.NewReader([]byte("garbage")), 1); err == nil {
+		t.Fatal("garbage must fail")
+	}
+}
+
+func TestArchiveNotACheckpointStream(t *testing.T) {
+	// A single-field checkpoint is not an archive and vice versa.
+	a := testARC(t)
+	f := datasets.CESM(8, 8, 14)
+	var single bytes.Buffer
+	if _, err := Save(&single, a, f.Data, f.Dims, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArchive(bytes.NewReader(single.Bytes()), 1); err == nil {
+		t.Fatal("single checkpoint must not load as archive")
+	}
+}

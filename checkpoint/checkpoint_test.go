@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	arc "repro"
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+)
+
+func testARC(t *testing.T) *arc.ARC {
+	t.Helper()
+	a, err := arc.InitWithOptions(1, arc.Options{CacheDir: "-", TrainSampleBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a := testARC(t)
+	f := datasets.CESM(32, 64, 1)
+	var buf bytes.Buffer
+	info, err := Save(&buf, a, f.Data, f.Dims, Options{Compressor: "SZ-ABS", Bound: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Elements != f.N() || info.CompressedBytes == 0 {
+		t.Fatalf("info %+v", info)
+	}
+	got, dims, linfo, err := Load(bytes.NewReader(buf.Bytes()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != f.Dims[0] || dims[1] != f.Dims[1] {
+		t.Fatalf("dims %v", dims)
+	}
+	if linfo.Compressor != "SZ-ABS" || linfo.Bound != 0.01 {
+		t.Fatalf("loaded info %+v", linfo)
+	}
+	if n := metrics.CountIncorrect(f.Data, got, 0.01*(1+1e-9)); n != 0 {
+		t.Fatalf("%d bound violations", n)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	a := testARC(t)
+	f := datasets.CESM(16, 16, 2)
+	var buf bytes.Buffer
+	info, err := Save(&buf, a, f.Data, f.Dims, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Compressor != "SZ-ABS" || info.Bound != 1e-3 {
+		t.Fatalf("defaults not applied: %+v", info)
+	}
+	if _, _, _, err := Load(bytes.NewReader(buf.Bytes()), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllCompressors(t *testing.T) {
+	a := testARC(t)
+	f := datasets.CESM(32, 32, 3)
+	for _, cfg := range []struct {
+		name  string
+		bound float64
+	}{
+		{"SZ-ABS", 0.01}, {"SZ-PWREL", 0.01}, {"SZ-PSNR", 80},
+		{"ZFP-ACC", 0.01}, {"ZFP-Rate", 16},
+	} {
+		var buf bytes.Buffer
+		if _, err := Save(&buf, a, f.Data, f.Dims, Options{Compressor: cfg.name, Bound: cfg.bound}); err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		got, _, info, err := Load(bytes.NewReader(buf.Bytes()), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if info.Compressor != cfg.name {
+			t.Fatalf("%s: loaded as %s", cfg.name, info.Compressor)
+		}
+		if len(got) != f.N() {
+			t.Fatalf("%s: %d elements", cfg.name, len(got))
+		}
+	}
+}
+
+func TestCheckpointSurvivesSoftErrors(t *testing.T) {
+	a := testARC(t)
+	f := datasets.Isabel(4, 16, 16, 4)
+	var buf bytes.Buffer
+	if _, err := Save(&buf, a, f.Data, f.Dims, Options{
+		Bound:      0.5,
+		Resiliency: arc.WithErrorsPerMB(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		mut := append([]byte(nil), buf.Bytes()...)
+		bit := rng.Intn(len(mut) * 8)
+		mut[bit/8] ^= 0x80 >> (bit % 8)
+		got, _, info, err := Load(bytes.NewReader(mut), 1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range f.Data {
+			if math.Abs(got[i]-f.Data[i]) > 0.5+1e-9 {
+				t.Fatalf("trial %d: bound violated after repair", trial)
+			}
+		}
+		_ = info
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, _, _, err := Load(bytes.NewReader([]byte("not a checkpoint")), 1); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	// A valid ARC stream that is not a checkpoint payload.
+	a := testARC(t)
+	var buf bytes.Buffer
+	w, err := a.NewWriter(&buf, arc.AnyMem, arc.AnyBW, arc.AnyECC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Write([]byte("random protected bytes")) //nolint:errcheck
+	w.Close()                                 //nolint:errcheck
+	if _, _, _, err := Load(bytes.NewReader(buf.Bytes()), 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("want ErrFormat, got %v", err)
+	}
+}
+
+func TestSaveRejectsUnknownCompressor(t *testing.T) {
+	a := testARC(t)
+	var buf bytes.Buffer
+	if _, err := Save(&buf, a, []float64{1}, []int{1}, Options{Compressor: "LZMA"}); err == nil {
+		t.Fatal("unknown compressor must fail")
+	}
+}

@@ -1,0 +1,134 @@
+// Command arcdata generates the repository's synthetic study datasets
+// as raw little-endian files (SDRBench layout), and inspects raw files.
+//
+// Usage:
+//
+//	arcdata gen -name CESM|Isabel|NYX -scale N -seed N -dtype f32|f64 -out FILE
+//	arcdata info -in FILE -dims Z,Y,X -dtype f32|f64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arcdata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: arcdata gen|info ...")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:], out)
+	case "info":
+		return cmdInfo(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	name := fs.String("name", "CESM", "dataset: CESM, Isabel, or NYX")
+	scale := fs.Int("scale", 1, "grid scale")
+	seed := fs.Int64("seed", 1, "random seed")
+	dtypeS := fs.String("dtype", "f32", "element type: f32 or f64")
+	outPath := fs.String("out", "", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	dtype, err := parseDType(*dtypeS)
+	if err != nil {
+		return err
+	}
+	field, err := datasets.ByName(*name, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	if err := datasets.WriteRaw(f, field, dtype); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: dims %v, %d elements, %s\n", *outPath, field.Dims, field.N(), *dtypeS)
+	return nil
+}
+
+func cmdInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("in", "", "input file")
+	dimsS := fs.String("dims", "", "comma-separated dimensions, slowest first")
+	dtypeS := fs.String("dtype", "f32", "element type: f32 or f64")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *dimsS == "" {
+		return fmt.Errorf("info: -in and -dims are required")
+	}
+	dtype, err := parseDType(*dtypeS)
+	if err != nil {
+		return err
+	}
+	var dims []int
+	for _, s := range strings.Split(*dimsS, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad dimension %q", s)
+		}
+		dims = append(dims, v)
+	}
+	field, err := datasets.LoadRaw(*in, dims, dtype)
+	if err != nil {
+		return err
+	}
+	lo, hi := metrics.Range(field.Data)
+	fmt.Fprintf(out, "file:     %s\n", *in)
+	fmt.Fprintf(out, "dims:     %v (%d elements)\n", field.Dims, field.N())
+	fmt.Fprintf(out, "range:    [%g, %g]\n", lo, hi)
+	fmt.Fprintf(out, "mean:     %g\n", mean(field.Data))
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func parseDType(s string) (datasets.DType, error) {
+	switch s {
+	case "f32":
+		return datasets.Float32, nil
+	case "f64":
+		return datasets.Float64, nil
+	default:
+		return 0, fmt.Errorf("unknown dtype %q (want f32 or f64)", s)
+	}
+}

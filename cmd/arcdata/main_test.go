@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cesm.f32")
+	var out bytes.Buffer
+	if err := run([]string{"gen", "-name", "CESM", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("gen output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"info", "-in", path, "-dims", "32,64", "-dtype", "f32"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "2048 elements") || !strings.Contains(s, "range:") {
+		t.Fatalf("info output:\n%s", s)
+	}
+	// Wrong dims reported helpfully.
+	if err := run([]string{"info", "-in", path, "-dims", "32,65", "-dtype", "f32"}, &out); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no args must fail")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown subcommand must fail")
+	}
+	if err := run([]string{"gen"}, &out); err == nil {
+		t.Fatal("gen without -out must fail")
+	}
+	if err := run([]string{"gen", "-out", "x", "-dtype", "f16"}, &out); err == nil {
+		t.Fatal("bad dtype must fail")
+	}
+	if err := run([]string{"gen", "-out", "/nonexistent-dir/x", "-name", "CESM"}, &out); err == nil {
+		t.Fatal("unwritable output must fail")
+	}
+	if err := run([]string{"info", "-in", "x"}, &out); err == nil {
+		t.Fatal("info without dims must fail")
+	}
+}

@@ -1,0 +1,42 @@
+// Command arcmtbf reproduces the ease-of-use evaluation (Section 6.4):
+// the failure-rate model of the Cielo and Hopper supercomputers, their
+// mean time between soft-error failures, and the ARC constraint each
+// system's fault mix recommends.
+//
+// Usage:
+//
+//	arcmtbf [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/failmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arcmtbf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arcmtbf", flag.ContinueOnError)
+	verbose := fs.Bool("verbose", false, "print per-system rationale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	experiments.Sec64().Table().Write(out)
+	if *verbose {
+		for _, s := range []failmodel.System{failmodel.Cielo(), failmodel.Hopper()} {
+			rec := failmodel.Recommend(s)
+			fmt.Fprintf(out, "%s: %s\n\n", s.Name, rec.Rationale)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Cielo", "Hopper", "1.90", "5.43"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-verbose"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ARC_COR_BURST") {
+		t.Fatal("rationale missing")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAnySweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-scale", "1", "any"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 11a") || !strings.Contains(s, "Figure 11b") {
+		t.Fatalf("missing tables:\n%s", s)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown sweep must fail")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunResiliency(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-trials", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Section 6.3") || !strings.Contains(s, "corrected 100%") {
+		t.Fatalf("bad output:\n%s", s)
+	}
+}
+
+func TestRunWithMatrix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-trials", "15", "-matrix"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "recovery matrix") {
+		t.Fatal("matrix table missing")
+	}
+}
+
+func TestRunWithCrossover(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-trials", "10", "-crossover"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "crossover") {
+		t.Fatal("crossover table missing")
+	}
+}

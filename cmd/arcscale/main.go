@@ -1,0 +1,75 @@
+// Command arcscale reproduces the scalability evaluation (Section 6.1):
+// Figures 8 and 9 (encode/decode throughput vs threads per ECC) and
+// Figure 10 (decode throughput under correctable error load).
+//
+// Usage:
+//
+//	arcscale [-threads 1,2,4] [-mb 4] [-seed N] enc|dec|err|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arcscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arcscale", flag.ContinueOnError)
+	threads := fs.String("threads", "1,2,4", "comma-separated thread counts")
+	mb := fs.Int("mb", 4, "payload size in MiB")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ts []int
+	for _, s := range strings.Split(*threads, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad thread count %q", s)
+		}
+		ts = append(ts, v)
+	}
+	which := "all"
+	if fs.NArg() > 0 {
+		which = fs.Arg(0)
+	}
+	payload := *mb << 20
+
+	switch which {
+	case "enc", "dec", "err", "all":
+	default:
+		return fmt.Errorf("unknown sweep %q (want enc, dec, err, or all)", which)
+	}
+	if which == "enc" || which == "dec" || which == "all" {
+		r, err := experiments.Fig89(ts, payload, *seed)
+		if err != nil {
+			return err
+		}
+		r.Table().Write(out)
+		fmt.Fprintln(out, "speedup (max threads vs 1): [encode, decode]")
+		for cfg, s := range r.Speedup() {
+			fmt.Fprintf(out, "  %-14s %.2fx  %.2fx\n", cfg, s[0], s[1])
+		}
+		fmt.Fprintln(out)
+	}
+	if which == "err" || which == "all" {
+		r, err := experiments.Fig10(ts, payload, []int{1, 100000}, *seed)
+		if err != nil {
+			return err
+		}
+		r.Table().Write(out)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunEncSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-mb", "1", "enc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figures 8-9", "parity8", "rs-m15", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1", "-mb", "1", "err"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 10") {
+		t.Fatal("missing figure 10 table")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "x"}, &out); err == nil {
+		t.Fatal("bad threads must fail")
+	}
+	if err := run([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown sweep must fail")
+	}
+}

@@ -1,0 +1,99 @@
+// Command arcstudy runs the paper's fault-injection study (Section 4)
+// and prints the data behind Figures 1-5.
+//
+// Usage:
+//
+//	arcstudy [-scale N] [-trials N] [-seed N] [-workers N] fig1|fig2|fig3|fig4|fig5|all
+//
+// Scale 1 keeps a full run under a minute on a laptop; the paper's
+// full-size datasets correspond to much larger scales (and hours of
+// compute), with identical qualitative results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arcstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arcstudy", flag.ContinueOnError)
+	scale := fs.Int("scale", 1, "dataset grid scale")
+	trials := fs.Int("trials", 400, "fault-injection trials per configuration")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "parallel trial workers")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	render := func(t *experiments.Table) {
+		if *csv {
+			t.WriteCSV(out)
+		} else {
+			t.Write(out)
+		}
+	}
+	which := "all"
+	if fs.NArg() > 0 {
+		which = fs.Arg(0)
+	}
+	o := experiments.StudyOptions{Scale: *scale, MaxTrials: *trials, Seed: *seed, Workers: *workers}
+
+	ran := false
+	sel := func(name string) bool {
+		if which == "all" || which == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+	if sel("fig1") {
+		r, err := experiments.Fig1(o)
+		if err != nil {
+			return err
+		}
+		render(r.Table())
+	}
+	if sel("fig2") {
+		r, err := experiments.Fig2(o)
+		if err != nil {
+			return err
+		}
+		render(r.Table())
+	}
+	if sel("fig3") {
+		r, err := experiments.Fig3(o)
+		if err != nil {
+			return err
+		}
+		render(r.Table())
+	}
+	if sel("fig4") {
+		r, err := experiments.Fig4(o)
+		if err != nil {
+			return err
+		}
+		render(r.Table())
+	}
+	if sel("fig5") {
+		r, err := experiments.Fig5(o)
+		if err != nil {
+			return err
+		}
+		render(r.Table())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want fig1..fig5 or all)", which)
+	}
+	return nil
+}

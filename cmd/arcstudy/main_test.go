@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trials", "40", "fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Fatalf("missing table:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"fig99"}, &out); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trials", "30", "-csv", "fig1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "==") {
+		t.Fatal("csv output must not contain table decorations")
+	}
+	if !strings.Contains(s, "percentile,bit position") {
+		t.Fatalf("missing csv header:\n%s", s)
+	}
+}

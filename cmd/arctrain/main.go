@@ -1,0 +1,48 @@
+// Command arctrain reproduces Figure 6: ARC's training cost and the
+// number of configurations trained at increasing thread caps.
+//
+// Usage:
+//
+//	arctrain [-threads 1,2,4,8] [-sample-kb 256]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "arctrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("arctrain", flag.ContinueOnError)
+	threads := fs.String("threads", "1,2,4,8", "comma-separated max-thread settings to sweep")
+	sampleKB := fs.Int("sample-kb", 256, "training sample size in KiB")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var ts []int
+	for _, s := range strings.Split(*threads, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad thread count %q", s)
+		}
+		ts = append(ts, v)
+	}
+	r, err := experiments.Fig6(ts, *sampleKB<<10)
+	if err != nil {
+		return err
+	}
+	r.Table().Write(out)
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTrainSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1,2", "-sample-kb", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 6") || !strings.Contains(s, "configs trained") {
+		t.Fatalf("bad output:\n%s", s)
+	}
+}
+
+func TestRunRejectsBadThreads(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-threads", "1,zero"}, &out); err == nil {
+		t.Fatal("bad thread list must fail")
+	}
+	if err := run([]string{"-threads", "0"}, &out); err == nil {
+		t.Fatal("non-positive thread count must fail")
+	}
+}

@@ -1,0 +1,68 @@
+package arc
+
+// File-level convenience API: protect and recover whole files without
+// holding both the plain and encoded forms in memory at once (the
+// streaming chunk format bounds the working set to one chunk).
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// EncodeFile protects the file at src, writing the ARC stream to dst.
+// Constraints follow Encode; chunkSize <= 0 selects the default.
+// It returns the configuration choice and the encoded size.
+func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunkSize int) (Choice, int64, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return Choice{}, 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return Choice{}, 0, err
+	}
+	w, err := a.NewWriter(out, mem, bw, res, chunkSize)
+	if err != nil {
+		out.Close()
+		return Choice{}, 0, err
+	}
+	if _, err := io.Copy(w, in); err != nil {
+		out.Close()
+		return Choice{}, 0, fmt.Errorf("arc: encode %s: %w", src, err)
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		return Choice{}, 0, err
+	}
+	if err := out.Close(); err != nil {
+		return Choice{}, 0, err
+	}
+	return w.Choice(), w.BytesWritten(), nil
+}
+
+// DecodeFile verifies and repairs the ARC stream at src, writing the
+// recovered payload to dst. The returned report aggregates repairs
+// over all chunks. Uncorrectable damage aborts with an error after
+// writing every chunk that preceded it.
+func DecodeFile(src, dst string, workers int) (StreamReport, error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	r := NewReader(in, workers)
+	_, cerr := io.Copy(out, r)
+	if err := out.Close(); err != nil && cerr == nil {
+		cerr = err
+	}
+	if cerr != nil {
+		return r.Report(), fmt.Errorf("arc: decode %s: %w", src, cerr)
+	}
+	return r.Report(), nil
+}

@@ -1,0 +1,153 @@
+package arc
+
+// Native fuzz targets for every decoder that consumes untrusted bytes.
+// `go test` runs the seed corpus as regression tests; `go test -fuzz
+// FuzzX` explores further. The invariant under test is uniform: a
+// decoder may reject input with an error but must never panic, hang,
+// or allocate unboundedly.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+func FuzzContainerDecode(f *testing.F) {
+	// Seed with a valid container and a few mutations.
+	eng, err := InitWithOptions(1, Options{CacheDir: "-", TrainSampleBytes: 16 << 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer eng.Close()
+	enc, err := eng.Encode(bytes.Repeat([]byte{0xA5}, 4096), AnyMem, AnyBW, AnyECC)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc.Encoded)
+	f.Add([]byte{})
+	f.Add([]byte("ARC1 but not really a container........"))
+	mut := append([]byte(nil), enc.Encoded...)
+	mut[3] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		_, _ = Decode(data, 1) //nolint:errcheck
+	})
+}
+
+func FuzzSZDecompress(f *testing.F) {
+	field := make([]float64, 256)
+	for i := range field {
+		field[i] = float64(i % 17)
+	}
+	valid, err := sz.Compress(field, []int{16, 16}, sz.Options{Mode: sz.ModeABS, ErrorBound: 0.1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SZG1 followed by garbage............."))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x10
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		_, _, _ = sz.Decompress(data) //nolint:errcheck
+		_, _, _ = sz.DecompressRegions(data, 1)
+	})
+}
+
+func FuzzZFPDecompress(f *testing.F) {
+	field := make([]float64, 256)
+	for i := range field {
+		field[i] = float64(i) * 0.25
+	}
+	for _, opts := range []zfp.Options{
+		{Mode: zfp.ModeAccuracy, Param: 0.01},
+		{Mode: zfp.ModeRate, Param: 8},
+	} {
+		valid, err := zfp.Compress(field, []int{16, 16}, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(valid)
+		mut := append([]byte(nil), valid...)
+		mut[len(mut)-1] ^= 0x01
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		_, _, _ = zfp.Decompress(data) //nolint:errcheck
+		_, _, _ = zfp.DecompressProgressive(data, 8, 1)
+	})
+}
+
+func FuzzHuffmanTable(f *testing.F) {
+	codec, err := huffman.Build([]int64{10, 5, 3, 2, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var w bitio.Writer
+	codec.WriteTable(&w)
+	for i := 0; i < 64; i++ {
+		codec.Encode(&w, i%5)
+	}
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			return
+		}
+		r := bitio.NewReader(data)
+		c, err := huffman.ReadTable(r)
+		if err != nil {
+			return
+		}
+		// Decode everything the stream claims to hold; errors fine.
+		for i := 0; i < 1<<16; i++ {
+			if _, err := c.Decode(r); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzStreamReader(f *testing.F) {
+	eng, err := InitWithOptions(1, Options{CacheDir: "-", TrainSampleBytes: 16 << 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer eng.Close()
+	var buf bytes.Buffer
+	w, err := eng.NewWriter(&buf, AnyMem, AnyBW, AnyECC, 2048)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Write(bytes.Repeat([]byte{7}, 6000)) //nolint:errcheck
+	w.Close()                              //nolint:errcheck
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		r := NewReader(bytes.NewReader(data), 1)
+		tmp := make([]byte, 4096)
+		for i := 0; i < 1<<12; i++ {
+			if _, err := r.Read(tmp); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package arc
+
+// End-to-end integration tests: the full pipeline the paper motivates —
+// scientific field -> lossy compression -> ARC protection -> soft
+// errors -> repair -> decompression -> bound verification — across
+// every compressor mode and dataset.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+	"repro/internal/pressio"
+)
+
+func TestFullPipelineAllModesAllDatasets(t *testing.T) {
+	a := initTest(t, 1)
+	rng := rand.New(rand.NewSource(90))
+	for _, field := range datasets.StudyFields(1, 90) {
+		for _, comp := range pressio.StudySet() {
+			comp, field := comp, field
+			t.Run(comp.Name()+"/"+field.Name, func(t *testing.T) {
+				compressed, err := comp.Compress(field.Data, field.Dims)
+				if err != nil {
+					t.Fatal(err)
+				}
+				enc, err := a.Encode(compressed, AnyMem, AnyBW, WithErrorsPerMB(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Ten single-bit soft errors, one at a time.
+				for trial := 0; trial < 10; trial++ {
+					mut := append([]byte(nil), enc.Encoded...)
+					bit := rng.Intn(len(mut) * 8)
+					mut[bit/8] ^= 0x80 >> (bit % 8)
+					dec, err := a.Decode(mut)
+					if err != nil {
+						t.Fatalf("trial %d: repair failed: %v", trial, err)
+					}
+					if !bytes.Equal(dec.Data, compressed) {
+						t.Fatalf("trial %d: repaired stream differs", trial)
+					}
+				}
+				// The repaired stream decompresses within bound.
+				got, dims, err := comp.Decompress(compressed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(dims) != len(field.Dims) {
+					t.Fatalf("dims %v", dims)
+				}
+				if comp.BoundsError() {
+					if comp.Name() == "SZ-PWREL" {
+						// Point-wise relative mode bounds |err|/|value|.
+						for i := range field.Data {
+							if field.Data[i] == 0 {
+								continue
+							}
+							rel := abs(got[i]-field.Data[i]) / abs(field.Data[i])
+							if rel > comp.Bound()*(1+1e-9) {
+								t.Fatalf("relative bound violated at %d: %g", i, rel)
+							}
+						}
+					} else if n := metrics.CountIncorrect(field.Data, got, comp.Bound()*(1+1e-9)); n != 0 {
+						t.Fatalf("%d bound violations after protected round trip", n)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestProtectionBeatsNoProtection(t *testing.T) {
+	// The paper's core value proposition, quantified: with N flips,
+	// unprotected streams frequently corrupt silently; ARC-protected
+	// streams never do.
+	a := initTest(t, 1)
+	field := datasets.CESM(32, 64, 91)
+	comp, err := pressio.New("SZ-ABS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := comp.Compress(field.Data, field.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := a.Encode(compressed, AnyMem, AnyBW, WithErrorsPerMB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+	unprotectedSDC := 0
+	protectedSDC := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		// Unprotected.
+		mut := append([]byte(nil), compressed...)
+		bit := rng.Intn(len(mut) * 8)
+		mut[bit/8] ^= 0x80 >> (bit % 8)
+		if got, _, err := comp.Decompress(mut); err == nil {
+			if len(got) == len(field.Data) &&
+				metrics.CountIncorrect(field.Data, got, 0.1*(1+1e-9)) > 0 {
+				unprotectedSDC++
+			}
+		}
+		// Protected.
+		pmut := append([]byte(nil), enc.Encoded...)
+		pbit := rng.Intn(len(pmut) * 8)
+		pmut[pbit/8] ^= 0x80 >> (pbit % 8)
+		dec, err := a.Decode(pmut)
+		if err != nil || !bytes.Equal(dec.Data, compressed) {
+			protectedSDC++
+		}
+	}
+	if unprotectedSDC == 0 {
+		t.Fatal("expected unprotected flips to cause SDC (the paper's premise)")
+	}
+	if protectedSDC != 0 {
+		t.Fatalf("protected stream suffered %d failures; ARC must prevent all", protectedSDC)
+	}
+	t.Logf("unprotected: %d/%d trials ended in SDC; protected: 0/%d", unprotectedSDC, trials, trials)
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(4096)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: Decode panicked: %v", trial, r)
+				}
+			}()
+			_, _ = Decode(buf, 1) //nolint:errcheck
+		}()
+	}
+}
+
+func TestDecodeHeavilyCorruptedContainers(t *testing.T) {
+	a := initTest(t, 1)
+	data := make([]byte, 50_000)
+	rand.New(rand.NewSource(94)).Read(data)
+	enc, err := a.Encode(data, AnyMem, AnyBW, AnyECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 100; trial++ {
+		mut := append([]byte(nil), enc.Encoded...)
+		// 1% of all bits flipped: far beyond any correction budget.
+		nflips := len(mut) * 8 / 100
+		for i := 0; i < nflips; i++ {
+			bit := rng.Intn(len(mut) * 8)
+			mut[bit/8] ^= 0x80 >> (bit % 8)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panicked: %v", trial, r)
+				}
+			}()
+			_, _ = a.Decode(mut) //nolint:errcheck
+		}()
+	}
+}
+
+func TestCrossEngineDecode(t *testing.T) {
+	// Containers are self-describing: data encoded by one engine
+	// decodes under another (or none).
+	a1 := initTest(t, 2)
+	a2 := initTest(t, 1)
+	data := make([]byte, 20_000)
+	rand.New(rand.NewSource(96)).Read(data)
+	enc, err := a1.Encode(data, 0.2, AnyBW, AnyECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := a2.Decode(enc.Encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Data, data) {
+		t.Fatal("cross-engine decode mismatch")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

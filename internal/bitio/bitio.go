@@ -1,0 +1,123 @@
+// Package bitio provides MSB-first bit-granular readers and writers
+// over byte slices, shared by the Huffman coder (internal/huffman) and
+// the ZFP-like embedded bit-plane coder (internal/zfp).
+package bitio
+
+import "io"
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur int // bits currently in cur (0..7)
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> i))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + w.nCur }
+
+// Bytes flushes any partial byte (zero padded on the right) and
+// returns the accumulated buffer. The Writer remains usable; further
+// writes continue after the flushed padding, so callers should only
+// call Bytes once when finished.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // absolute bit position
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit. It returns io.ErrUnexpectedEOF when
+// the buffer is exhausted — corrupted streams routinely run off the
+// end, and the fault-injection harness classifies that as a
+// compressor exception rather than a crash.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := uint(r.buf[r.pos/8]>>(7-r.pos%8)) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits returns the next n bits (MSB first). n must be in [0, 64].
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if r.pos+n > len(r.buf)*8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.buf[r.pos/8]>>(7-r.pos%8)&1)
+		r.pos++
+	}
+	return v, nil
+}
+
+// Pos returns the current absolute bit position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// Skip advances the position by n bits, which may leave the reader at
+// end of buffer but returns io.ErrUnexpectedEOF if it would go beyond.
+func (r *Reader) Skip(n int) error {
+	if r.pos+n > len(r.buf)*8 {
+		return io.ErrUnexpectedEOF
+	}
+	r.pos += n
+	return nil
+}
+
+// AlignByte advances to the next byte boundary (no-op when aligned).
+func (r *Reader) AlignByte() {
+	if rem := r.pos % 8; rem != 0 {
+		r.pos += 8 - rem
+	}
+}
+
+// Peek returns the next n bits (MSB first) without advancing. When
+// fewer than n bits remain, the missing low bits are zero and avail
+// reports how many were real. n must be in [0, 64].
+func (r *Reader) Peek(n int) (v uint64, avail int) {
+	total := len(r.buf) * 8
+	avail = total - r.pos
+	if avail > n {
+		avail = n
+	}
+	pos := r.pos
+	for i := 0; i < avail; i++ {
+		v = v<<1 | uint64(r.buf[pos/8]>>(7-pos%8)&1)
+		pos++
+	}
+	v <<= uint(n - avail)
+	return v, avail
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/ecc"
+)
+
+// The container wraps ECC-encoded payloads with a self-describing
+// header so arc_decode needs no side-band information. The header is
+// the one region the payload's ECC does not cover, so it is written
+// three times and read back with byte-wise majority voting — a single
+// soft error (or a short burst inside one replica) cannot take down
+// the metadata that locates everything else.
+
+const (
+	containerMagic   = "ARC1"
+	containerVersion = 1
+	headerLen        = 4 + 1 + 1 + 4 + 4 + 8 + 8 + 4 // magic..crc
+	headerReplicas   = 3
+)
+
+// ErrContainer reports an unusable container (bad magic, version, or
+// unrecoverable header corruption).
+var ErrContainer = errors.New("core: corrupt container")
+
+// header is the decoded container metadata.
+type header struct {
+	Method  ecc.Method
+	Param   int
+	DevSize int // Reed-Solomon device size (0 for other methods)
+	OrigLen int
+	EncLen  int
+}
+
+func (h header) config() Config { return Config{Method: h.Method, Param: h.Param} }
+
+// marshalHeader builds one header replica (with CRC) and returns the
+// full replicated prefix.
+func marshalHeader(h header) []byte {
+	one := make([]byte, headerLen)
+	copy(one, containerMagic)
+	one[4] = containerVersion
+	one[5] = byte(h.Method)
+	binary.LittleEndian.PutUint32(one[6:], uint32(h.Param))
+	binary.LittleEndian.PutUint32(one[10:], uint32(h.DevSize))
+	binary.LittleEndian.PutUint64(one[14:], uint64(h.OrigLen))
+	binary.LittleEndian.PutUint64(one[22:], uint64(h.EncLen))
+	crc := crc32.ChecksumIEEE(one[:headerLen-4])
+	binary.LittleEndian.PutUint32(one[headerLen-4:], crc)
+	out := make([]byte, 0, headerLen*headerReplicas)
+	for i := 0; i < headerReplicas; i++ {
+		out = append(out, one...)
+	}
+	return out
+}
+
+// unmarshalHeader recovers the header from the replicated prefix. It
+// first looks for any replica with a valid CRC; failing that, it
+// majority-votes each byte across replicas and retries, so even three
+// damaged replicas recover when the damage does not align.
+func unmarshalHeader(buf []byte) (header, error) {
+	if len(buf) < headerLen*headerReplicas {
+		return header{}, fmt.Errorf("%w: short header (%d bytes)", ErrContainer, len(buf))
+	}
+	replicas := make([][]byte, headerReplicas)
+	for i := range replicas {
+		replicas[i] = buf[i*headerLen : (i+1)*headerLen]
+	}
+	for _, r := range replicas {
+		if h, err := parseOne(r); err == nil {
+			return h, nil
+		}
+	}
+	voted := make([]byte, headerLen)
+	for i := 0; i < headerLen; i++ {
+		voted[i] = vote3(replicas[0][i], replicas[1][i], replicas[2][i])
+	}
+	h, err := parseOne(voted)
+	if err != nil {
+		return header{}, fmt.Errorf("%w: all header replicas damaged beyond voting", ErrContainer)
+	}
+	return h, nil
+}
+
+// vote3 returns the bitwise majority of three bytes.
+func vote3(a, b, c byte) byte {
+	return (a & b) | (a & c) | (b & c)
+}
+
+func parseOne(r []byte) (header, error) {
+	want := binary.LittleEndian.Uint32(r[headerLen-4:])
+	if crc32.ChecksumIEEE(r[:headerLen-4]) != want {
+		return header{}, fmt.Errorf("%w: header CRC mismatch", ErrContainer)
+	}
+	if string(r[:4]) != containerMagic {
+		return header{}, fmt.Errorf("%w: bad magic", ErrContainer)
+	}
+	if r[4] != containerVersion {
+		return header{}, fmt.Errorf("%w: unsupported version %d", ErrContainer, r[4])
+	}
+	h := header{
+		Method:  ecc.Method(r[5]),
+		Param:   int(binary.LittleEndian.Uint32(r[6:])),
+		DevSize: int(binary.LittleEndian.Uint32(r[10:])),
+		OrigLen: int(binary.LittleEndian.Uint64(r[14:])),
+		EncLen:  int(binary.LittleEndian.Uint64(r[22:])),
+	}
+	if h.OrigLen < 0 || h.EncLen < 0 {
+		return header{}, fmt.Errorf("%w: negative lengths", ErrContainer)
+	}
+	return h, nil
+}
+
+// wrap assembles the final container: replicated header + payload.
+func wrap(h header, payload []byte) []byte {
+	hdr := marshalHeader(h)
+	out := make([]byte, 0, len(hdr)+len(payload))
+	out = append(out, hdr...)
+	return append(out, payload...)
+}
+
+// unwrap splits a container into header and payload.
+func unwrap(buf []byte) (header, []byte, error) {
+	h, err := unmarshalHeader(buf)
+	if err != nil {
+		return header{}, nil, err
+	}
+	payload := buf[headerLen*headerReplicas:]
+	if len(payload) < h.EncLen {
+		return header{}, nil, fmt.Errorf("%w: payload truncated (%d < %d)", ErrContainer, len(payload), h.EncLen)
+	}
+	return h, payload[:h.EncLen], nil
+}
+
+// ContainerOverheadBytes is the fixed container cost in bytes.
+const ContainerOverheadBytes = headerLen * headerReplicas

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ecc"
+)
+
+// Custom ECC registration — the paper's stated future work ("an API to
+// further simplify the addition of custom ECC algorithms and
+// constraints"). A registered method participates fully: the trainer
+// measures it, the optimizer selects it under all three constraints,
+// and the container records its method id so decode is automatic.
+//
+// Method ids 1-4 are ARC's built-ins; ids in [CustomMethodBase, 255]
+// are reserved for custom codes.
+
+// CustomMethodBase is the first method id available to custom codes.
+const CustomMethodBase ecc.Method = 128
+
+// CustomBuilder constructs a code instance for one parameter value.
+// devSize is advisory (only striped codes need it).
+type CustomBuilder func(param, workers, devSize int) (ecc.Code, error)
+
+// CustomMethod describes a registered ECC family.
+type CustomMethod struct {
+	ID   ecc.Method
+	Name string
+	// Params enumerates the family's configuration grid.
+	Params []int
+	// Overhead returns the storage overhead for a parameter value.
+	Overhead func(param int) float64
+	// Caps declares the family's error-response capabilities.
+	Caps ecc.Capability
+	// Build constructs instances.
+	Build CustomBuilder
+}
+
+var (
+	customMu      sync.RWMutex
+	customMethods = map[ecc.Method]CustomMethod{}
+)
+
+// RegisterCustomMethod adds an ECC family to ARC's configuration
+// space. It fails on id collisions, reserved ids, or incomplete
+// definitions. Engines built after registration train and select the
+// new family like any built-in.
+func RegisterCustomMethod(m CustomMethod) error {
+	if m.ID < CustomMethodBase {
+		return fmt.Errorf("core: custom method id %d is reserved (use >= %d)", m.ID, CustomMethodBase)
+	}
+	if m.Name == "" || m.Build == nil || m.Overhead == nil || len(m.Params) == 0 {
+		return fmt.Errorf("core: custom method %d is incompletely defined", m.ID)
+	}
+	customMu.Lock()
+	defer customMu.Unlock()
+	if _, dup := customMethods[m.ID]; dup {
+		return fmt.Errorf("core: custom method id %d already registered", m.ID)
+	}
+	customMethods[m.ID] = m
+	return nil
+}
+
+// UnregisterCustomMethod removes a family (primarily for tests).
+func UnregisterCustomMethod(id ecc.Method) {
+	customMu.Lock()
+	defer customMu.Unlock()
+	delete(customMethods, id)
+}
+
+// customConfigs lists configurations of all registered families.
+func customConfigs() []Config {
+	customMu.RLock()
+	defer customMu.RUnlock()
+	var cs []Config
+	for id, m := range customMethods {
+		for _, p := range m.Params {
+			cs = append(cs, Config{Method: id, Param: p})
+		}
+	}
+	return cs
+}
+
+// lookupCustom returns the family for a method id.
+func lookupCustom(id ecc.Method) (CustomMethod, bool) {
+	customMu.RLock()
+	defer customMu.RUnlock()
+	m, ok := customMethods[id]
+	return m, ok
+}

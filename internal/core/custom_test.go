@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+// triplicate is a toy custom code: every byte stored three times,
+// majority-voted on decode. Param is unused (grid of one).
+type triplicate struct{}
+
+func (triplicate) Name() string          { return "triple1" }
+func (triplicate) Overhead() float64     { return 2.0 }
+func (triplicate) EncodedSize(n int) int { return 3 * n }
+func (triplicate) Caps() ecc.Capability {
+	return ecc.DetectSparse | ecc.CorrectSparse | ecc.CorrectBurst
+}
+
+func (triplicate) Encode(data []byte) []byte {
+	out := make([]byte, 3*len(data))
+	copy(out, data)
+	copy(out[len(data):], data)
+	copy(out[2*len(data):], data)
+	return out
+}
+
+func (triplicate) Decode(enc []byte, origLen int) ([]byte, ecc.Report, error) {
+	var rep ecc.Report
+	if len(enc) < 3*origLen {
+		return nil, rep, ecc.ErrTruncated
+	}
+	out := make([]byte, origLen)
+	for i := 0; i < origLen; i++ {
+		a, b, c := enc[i], enc[origLen+i], enc[2*origLen+i]
+		v := (a & b) | (a & c) | (b & c)
+		out[i] = v
+		if a != b || b != c {
+			rep.DetectedBlocks++
+			rep.CorrectedBlocks++
+		}
+	}
+	return out, rep, nil
+}
+
+var tripleMethod = CustomMethod{
+	ID:       CustomMethodBase,
+	Name:     "triple",
+	Params:   []int{1},
+	Overhead: func(int) float64 { return 2.0 },
+	Caps:     ecc.DetectSparse | ecc.CorrectSparse | ecc.CorrectBurst,
+	Build: func(param, workers, devSize int) (ecc.Code, error) {
+		return triplicate{}, nil
+	},
+}
+
+func TestRegisterCustomValidation(t *testing.T) {
+	if err := RegisterCustomMethod(CustomMethod{ID: 5}); err == nil {
+		t.Fatal("reserved id must fail")
+	}
+	if err := RegisterCustomMethod(CustomMethod{ID: CustomMethodBase}); err == nil {
+		t.Fatal("incomplete definition must fail")
+	}
+}
+
+func TestCustomMethodEndToEnd(t *testing.T) {
+	if err := RegisterCustomMethod(tripleMethod); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterCustomMethod(tripleMethod.ID)
+
+	// Duplicate registration rejected.
+	if err := RegisterCustomMethod(tripleMethod); err == nil {
+		t.Fatal("duplicate id must fail")
+	}
+
+	// The family shows up in the configuration space.
+	found := false
+	for _, c := range AllConfigs() {
+		if c.Method == tripleMethod.ID {
+			found = true
+			if c.String() != "triple1" {
+				t.Fatalf("custom config string %q", c)
+			}
+			if c.Overhead() != 2.0 {
+				t.Fatal("custom overhead not consulted")
+			}
+			if !c.Caps().Has(ecc.CorrectBurst) {
+				t.Fatal("custom caps not consulted")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("custom config missing from AllConfigs")
+	}
+
+	// A fresh engine trains it and the optimizer can be pinned to it.
+	eng, err := NewEngine(EngineOptions{MaxThreads: 1, CacheDir: "-", SampleBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, ok := eng.Table().Lookup("triple1", 1); !ok {
+		t.Fatal("custom config not trained")
+	}
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(80)).Read(data)
+	enc, err := eng.Encode(data, AnyMem, AnyBW, Resiliency{Methods: []ecc.Method{tripleMethod.ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Choice.Config.Method != tripleMethod.ID {
+		t.Fatalf("chose %s", enc.Choice.Config)
+	}
+	// Decode dispatches by container method id, including repairs.
+	mut := append([]byte(nil), enc.Encoded...)
+	mut[ContainerOverheadBytes+500] ^= 0xFF
+	dec, err := eng.Decode(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Data, data) {
+		t.Fatal("custom decode mismatch")
+	}
+	if dec.Report.CorrectedBlocks != 1 {
+		t.Fatalf("corrected %d, want 1", dec.Report.CorrectedBlocks)
+	}
+}
+
+func TestCustomMethodSelectedByBudget(t *testing.T) {
+	if err := RegisterCustomMethod(tripleMethod); err != nil {
+		t.Fatal(err)
+	}
+	defer UnregisterCustomMethod(tripleMethod.ID)
+	eng, err := NewEngine(EngineOptions{MaxThreads: 1, CacheDir: "-", SampleBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// With a budget of 2.5 the 2.0-overhead custom family is the
+	// closest-under choice.
+	choice, err := eng.Optimizer().Memory(2.5, AnyECC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Config.Method != tripleMethod.ID {
+		t.Fatalf("budget 2.5 chose %s, want the custom family", choice.Config)
+	}
+}
+
+func TestCustomConfigStringFallback(t *testing.T) {
+	c := Config{Method: 200, Param: 3}
+	if got := c.String(); got != fmt.Sprintf("unknown-%d-%d", 200, 3) {
+		t.Fatalf("unregistered custom id string %q", got)
+	}
+	if _, err := c.Build(1); err == nil {
+		t.Fatal("unregistered custom id must not build")
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ecc"
+)
+
+// Sentinel constraint values mirroring the paper's ARC_ANY_* flags.
+const (
+	// AnyMem removes the storage constraint.
+	AnyMem = math.MaxFloat64
+	// AnyBW removes the throughput constraint.
+	AnyBW = 0.0
+)
+
+// Resiliency is the paper's resiliency constraint: restrict ARC to
+// specific ECC methods, to methods with specific error-response
+// capabilities, or to methods able to correct an expected error rate.
+// The zero value (ARC_ANY_ECC) allows every method.
+type Resiliency struct {
+	// Methods restricts to these ECC families (nil/empty = any).
+	Methods []ecc.Method
+	// Caps requires these error-response capabilities (0 = any).
+	Caps ecc.Capability
+	// ErrorsPerMB, when positive, restricts to methods able to correct
+	// that expected uniform soft-error rate.
+	ErrorsPerMB float64
+}
+
+// AnyECC is the unrestricted resiliency constraint.
+var AnyECC = Resiliency{}
+
+// allows reports whether the constraint admits a configuration.
+func (r Resiliency) allows(c Config) bool {
+	if len(r.Methods) > 0 {
+		ok := false
+		for _, m := range r.Methods {
+			if m == c.Method {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if r.Caps != 0 && !c.Caps().Has(r.Caps) {
+		return false
+	}
+	if r.ErrorsPerMB > 0 {
+		ok := false
+		for _, m := range MethodsForErrorRate(r.ErrorsPerMB) {
+			if m == c.Method {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Choice is the optimizer's selected configuration.
+type Choice struct {
+	Config  Config
+	Threads int
+	// PredictedEncMBs/PredictedDecMBs come from the training table.
+	PredictedEncMBs float64
+	PredictedDecMBs float64
+	// Overhead is the configuration's storage overhead fraction.
+	Overhead float64
+	// OverBudget is set when no configuration satisfied the memory
+	// constraint and ARC had to exceed it (the paper prints a warning
+	// in this case).
+	OverBudget bool
+	// UnderThroughput is set when the predicted throughput misses the
+	// requested lower bound.
+	UnderThroughput bool
+}
+
+// Optimizer selects ECC configurations under the three constraints,
+// driven by the trained throughput table.
+type Optimizer struct {
+	Table      *TrainTable
+	MaxThreads int
+}
+
+// candidate pairs a configuration with its best thread choice for a
+// throughput bound.
+type candidate struct {
+	cfg      Config
+	threads  int
+	encMBs   float64
+	decMBs   float64
+	overhead float64
+	meetsBW  bool
+}
+
+// candidates enumerates allowed configurations; for each, threads are
+// chosen as the fewest that meet the throughput bound (the paper uses
+// fewer threads when resources suffice), falling back to the fastest
+// available when none meets it.
+func (o *Optimizer) candidates(res Resiliency, bw float64) []candidate {
+	var out []candidate
+	counts := o.Table.ThreadCounts()
+	for _, cfg := range AllConfigs() {
+		if !res.allows(cfg) {
+			continue
+		}
+		var best *candidate
+		for _, th := range counts {
+			if o.MaxThreads > 0 && th > o.MaxThreads {
+				continue
+			}
+			e, ok := o.Table.Lookup(cfg.String(), th)
+			if !ok {
+				continue
+			}
+			c := candidate{cfg: cfg, threads: th, encMBs: e.EncMBs, decMBs: e.DecMBs,
+				overhead: cfg.Overhead(), meetsBW: e.EncMBs >= bw}
+			if c.meetsBW {
+				// Fewest threads that meet the bound: counts ascend,
+				// so the first hit wins.
+				best = &c
+				break
+			}
+			// Track the fastest as fallback.
+			if best == nil || c.encMBs > best.encMBs {
+				best = &c
+			}
+		}
+		if best != nil {
+			out = append(out, *best)
+		}
+	}
+	return out
+}
+
+// ErrNoConfiguration reports an over-constrained request (e.g. a
+// resiliency constraint naming no known method).
+var ErrNoConfiguration = fmt.Errorf("core: no ECC configuration matches the constraints")
+
+// Joint implements the paper's selection procedure: among allowed
+// configurations, prefer those meeting both the memory bound (overhead
+// under but closest to it) and the throughput bound (above but closest
+// to it); if none meets both, fall back to the configuration closest
+// to the memory budget with throughput closest to the bound.
+func (o *Optimizer) Joint(mem, bw float64, res Resiliency) (Choice, error) {
+	if res.ErrorsPerMB > 0 && mem == AnyMem {
+		// Guarantee mode: the user stated an error rate but no storage
+		// budget, so ARC applies the cheapest configuration adequate
+		// for the rate (the paper's 1 err/MB -> SEC-DED over every
+		// eight bytes) rather than spending unbounded storage.
+		cfg := MinimalAdequateConfig(res.ErrorsPerMB)
+		if res.allows(cfg) {
+			mem = cfg.Overhead()
+		}
+	}
+	cands := o.candidates(res, bw)
+	if len(cands) == 0 {
+		return Choice{}, ErrNoConfiguration
+	}
+	// Pass 1: overhead <= mem and throughput >= bw; maximize overhead
+	// (closest under budget = strongest protection the budget buys),
+	// tie-break on smallest throughput surplus.
+	var best *candidate
+	for i := range cands {
+		c := &cands[i]
+		if c.overhead > mem || !c.meetsBW {
+			continue
+		}
+		if best == nil || c.overhead > best.overhead ||
+			(c.overhead == best.overhead && c.encMBs < best.encMBs) {
+			best = c
+		}
+	}
+	if best != nil {
+		return choiceFrom(*best, mem, bw), nil
+	}
+	// Pass 2: the throughput bound is unreachable; hold the budget and
+	// get as close to the bound as possible (paper: "ARC attempts to
+	// get as close as possible"), breaking ties toward protection.
+	for i := range cands {
+		c := &cands[i]
+		if c.overhead > mem {
+			continue
+		}
+		if best == nil || c.encMBs > best.encMBs ||
+			(c.encMBs == best.encMBs && c.overhead > best.overhead) {
+			best = c
+		}
+	}
+	if best != nil {
+		return choiceFrom(*best, mem, bw), nil
+	}
+	// Pass 3: nothing fits the budget (paper: go over, warn, use the
+	// configuration with the lowest possible overhead).
+	for i := range cands {
+		c := &cands[i]
+		if best == nil || c.overhead < best.overhead ||
+			(c.overhead == best.overhead && c.encMBs > best.encMBs) {
+			best = c
+		}
+	}
+	return choiceFrom(*best, mem, bw), nil
+}
+
+// Memory optimizes for the storage budget only.
+func (o *Optimizer) Memory(mem float64, res Resiliency) (Choice, error) {
+	return o.Joint(mem, AnyBW, res)
+}
+
+// Throughput optimizes for the throughput bound only.
+func (o *Optimizer) Throughput(bw float64, res Resiliency) (Choice, error) {
+	return o.Joint(AnyMem, bw, res)
+}
+
+func choiceFrom(c candidate, mem, bw float64) Choice {
+	return Choice{
+		Config:          c.cfg,
+		Threads:         c.threads,
+		PredictedEncMBs: c.encMBs,
+		PredictedDecMBs: c.decMBs,
+		Overhead:        c.overhead,
+		OverBudget:      c.overhead > mem,
+		UnderThroughput: bw > 0 && c.encMBs < bw,
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Streaming support: an ARC stream is a sequence of independent
+// containers ("chunks"). Each chunk is self-describing, so readers
+// need no side-band state, corrupted chunks fail independently, and
+// chunk boundaries bound the blast radius of unrecoverable damage.
+
+// maxChunkPayload caps the EncLen a stream reader will allocate,
+// so a corrupted-but-CRC-colliding header cannot drive an OOM.
+const maxChunkPayload = 1 << 31
+
+// ChunkWriter encodes fixed-size chunks of a byte stream with one
+// configuration choice and writes the containers to w.
+type ChunkWriter struct {
+	eng       *Engine
+	w         io.Writer
+	choice    Choice
+	buf       []byte
+	chunkSize int
+	err       error
+	written   int64
+}
+
+// DefaultChunkSize is the ChunkWriter's default chunk payload size.
+const DefaultChunkSize = 4 << 20
+
+// NewChunkWriter creates a streaming encoder. chunkSize <= 0 selects
+// DefaultChunkSize. The configuration choice is made once, up front,
+// from the given constraints.
+func (e *Engine) NewChunkWriter(w io.Writer, mem, bw float64, res Resiliency, chunkSize int) (*ChunkWriter, error) {
+	choice, err := e.Optimizer().Joint(mem, bw, res)
+	if err != nil {
+		return nil, err
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &ChunkWriter{
+		eng:       e,
+		w:         w,
+		choice:    choice,
+		buf:       make([]byte, 0, chunkSize),
+		chunkSize: chunkSize,
+	}, nil
+}
+
+// Choice returns the configuration the writer encodes with.
+func (cw *ChunkWriter) Choice() Choice { return cw.choice }
+
+// Write implements io.Writer, buffering until a full chunk is ready.
+func (cw *ChunkWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	total := 0
+	for len(p) > 0 {
+		room := cw.chunkSize - len(cw.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		cw.buf = append(cw.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		if len(cw.buf) == cw.chunkSize {
+			if err := cw.flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flush encodes and writes the buffered chunk.
+func (cw *ChunkWriter) flush() error {
+	if len(cw.buf) == 0 {
+		return nil
+	}
+	enc, err := cw.eng.EncodeWith(cw.buf, cw.choice)
+	if err != nil {
+		cw.err = err
+		return err
+	}
+	if _, err := cw.w.Write(enc.Encoded); err != nil {
+		cw.err = err
+		return err
+	}
+	cw.written += int64(len(enc.Encoded))
+	cw.buf = cw.buf[:0]
+	return nil
+}
+
+// Close flushes the final (possibly short) chunk. It does not close
+// the underlying writer.
+func (cw *ChunkWriter) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if err := cw.flush(); err != nil {
+		return err
+	}
+	cw.err = fmt.Errorf("core: chunk writer is closed")
+	return nil
+}
+
+// BytesWritten returns the encoded bytes emitted so far.
+func (cw *ChunkWriter) BytesWritten() int64 { return cw.written }
+
+// ChunkReader decodes a stream of containers, verifying and repairing
+// each chunk as it goes.
+type ChunkReader struct {
+	r       io.Reader
+	workers int
+	cur     []byte
+	err     error
+	report  Report
+}
+
+// Report aggregates repair statistics over all chunks read.
+type Report struct {
+	Chunks          int
+	DetectedBlocks  int
+	CorrectedBlocks int
+	CorrectedBits   int
+}
+
+// NewChunkReader creates a streaming decoder over r.
+func NewChunkReader(r io.Reader, workers int) *ChunkReader {
+	return &ChunkReader{r: r, workers: workers}
+}
+
+// Report returns the accumulated repair statistics.
+func (cr *ChunkReader) Report() Report { return cr.report }
+
+// Read implements io.Reader.
+func (cr *ChunkReader) Read(p []byte) (int, error) {
+	for len(cr.cur) == 0 {
+		if cr.err != nil {
+			return 0, cr.err
+		}
+		if err := cr.nextChunk(); err != nil {
+			cr.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, cr.cur)
+	cr.cur = cr.cur[n:]
+	return n, nil
+}
+
+// nextChunk reads and decodes one container.
+func (cr *ChunkReader) nextChunk() error {
+	hdr := make([]byte, ContainerOverheadBytes)
+	if _, err := io.ReadFull(cr.r, hdr); err != nil {
+		if err == io.EOF {
+			return io.EOF // clean end at a chunk boundary
+		}
+		return fmt.Errorf("%w: truncated chunk header: %v", ErrContainer, err)
+	}
+	h, err := unmarshalHeader(hdr)
+	if err != nil {
+		return err
+	}
+	if h.EncLen > maxChunkPayload {
+		return fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
+	}
+	payload := make([]byte, h.EncLen)
+	if _, err := io.ReadFull(cr.r, payload); err != nil {
+		return fmt.Errorf("%w: truncated chunk payload: %v", ErrContainer, err)
+	}
+	code, err := h.config().BuildWithDeviceSize(cr.workers, h.DevSize)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	data, rep, derr := code.Decode(payload, h.OrigLen)
+	cr.report.Chunks++
+	cr.report.DetectedBlocks += rep.DetectedBlocks
+	cr.report.CorrectedBlocks += rep.CorrectedBlocks
+	cr.report.CorrectedBits += rep.CorrectedBits
+	if derr != nil {
+		return fmt.Errorf("chunk %d: %w", cr.report.Chunks, derr)
+	}
+	cr.cur = data
+	return nil
+}
+
+// ChunkInfo summarizes one container of a stream without decoding its
+// payload.
+type ChunkInfo struct {
+	Config  Config
+	DevSize int
+	OrigLen int
+	EncLen  int
+}
+
+// InspectStream walks a stream (single container or chunked), parsing
+// headers and skipping payloads. It returns per-chunk metadata.
+func InspectStream(r io.Reader) ([]ChunkInfo, error) {
+	var infos []ChunkInfo
+	hdr := make([]byte, ContainerOverheadBytes)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return infos, nil
+			}
+			return infos, fmt.Errorf("%w: truncated header after %d chunk(s): %v", ErrContainer, len(infos), err)
+		}
+		h, err := unmarshalHeader(hdr)
+		if err != nil {
+			return infos, err
+		}
+		if h.EncLen > maxChunkPayload {
+			return infos, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(h.EncLen)); err != nil {
+			return infos, fmt.Errorf("%w: truncated payload: %v", ErrContainer, err)
+		}
+		infos = append(infos, ChunkInfo{
+			Config:  h.config(),
+			DevSize: h.DevSize,
+			OrigLen: h.OrigLen,
+			EncLen:  h.EncLen,
+		})
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// TrainEntry records measured throughput for one (configuration,
+// thread-count) point — the model the optimizer's throughput
+// constraint consults.
+type TrainEntry struct {
+	Config  string  `json:"config"`
+	Threads int     `json:"threads"`
+	EncMBs  float64 `json:"enc_mbs"`
+	DecMBs  float64 `json:"dec_mbs"`
+}
+
+// TrainTable is the full trained model.
+type TrainTable struct {
+	// SampleBytes is the training buffer size the measurements used.
+	SampleBytes int          `json:"sample_bytes"`
+	Entries     []TrainEntry `json:"entries"`
+}
+
+// key returns the map key for one point.
+func tkey(config string, threads int) string { return fmt.Sprintf("%s@%d", config, threads) }
+
+// index builds a lookup map over entries.
+func (t *TrainTable) index() map[string]TrainEntry {
+	m := make(map[string]TrainEntry, len(t.Entries))
+	for _, e := range t.Entries {
+		m[tkey(e.Config, e.Threads)] = e
+	}
+	return m
+}
+
+// Lookup returns the entry for a configuration at a thread count.
+func (t *TrainTable) Lookup(config string, threads int) (TrainEntry, bool) {
+	for _, e := range t.Entries {
+		if e.Config == config && e.Threads == threads {
+			return e, true
+		}
+	}
+	return TrainEntry{}, false
+}
+
+// ThreadCounts returns the distinct trained thread counts, ascending.
+func (t *TrainTable) ThreadCounts() []int {
+	seen := map[int]bool{}
+	for _, e := range t.Entries {
+		seen[e.Threads] = true
+	}
+	out := make([]int, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// trainThreadCounts returns the thread counts to train for a maximum:
+// powers of two up to max, plus max itself (the paper trains "an
+// increasing number of threads up to the maximum available").
+func trainThreadCounts(maxThreads int) []int {
+	if maxThreads < 1 {
+		maxThreads = 1
+	}
+	var ts []int
+	for t := 1; t < maxThreads; t *= 2 {
+		ts = append(ts, t)
+	}
+	ts = append(ts, maxThreads)
+	return ts
+}
+
+// Trainer measures configuration throughput and maintains the cache.
+type Trainer struct {
+	// CacheDir holds train-cache.json; empty disables persistence.
+	CacheDir string
+	// SampleBytes sizes the measurement buffer (default 4 MiB; tests
+	// use much less).
+	SampleBytes int
+	// Repetitions per measurement point (default 1; higher smooths).
+	Repetitions int
+}
+
+const defaultSampleBytes = 4 << 20
+
+func (tr *Trainer) sampleBytes() int {
+	if tr.SampleBytes > 0 {
+		return tr.SampleBytes
+	}
+	return defaultSampleBytes
+}
+
+func (tr *Trainer) cachePath() string {
+	if tr.CacheDir == "" {
+		return ""
+	}
+	return filepath.Join(tr.CacheDir, "train-cache.json")
+}
+
+// LoadCache reads the cached table, returning an empty table when no
+// usable cache exists (including when the cached sample size differs,
+// which would make throughputs incomparable).
+func (tr *Trainer) LoadCache() *TrainTable {
+	empty := &TrainTable{SampleBytes: tr.sampleBytes()}
+	p := tr.cachePath()
+	if p == "" {
+		return empty
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return empty
+	}
+	var t TrainTable
+	if err := json.Unmarshal(raw, &t); err != nil || t.SampleBytes != tr.sampleBytes() {
+		return empty
+	}
+	return &t
+}
+
+// SaveCache persists the table (no-op without a cache dir).
+func (tr *Trainer) SaveCache(t *TrainTable) error {
+	p := tr.cachePath()
+	if p == "" {
+		return nil
+	}
+	if err := os.MkdirAll(tr.CacheDir, 0o755); err != nil {
+		return fmt.Errorf("core: create cache dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("core: write cache: %w", err)
+	}
+	return os.Rename(tmp, p)
+}
+
+// Train ensures the table covers every configuration at every thread
+// count up to maxThreads, measuring only missing points (the paper's
+// incremental training). It returns the updated table and the number
+// of points measured.
+func (tr *Trainer) Train(table *TrainTable, maxThreads int) (*TrainTable, int, error) {
+	if table == nil {
+		table = &TrainTable{SampleBytes: tr.sampleBytes()}
+	}
+	idx := table.index()
+	sample := trainingSample(tr.sampleBytes())
+	reps := tr.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	measured := 0
+	for _, cfg := range AllConfigs() {
+		for _, threads := range trainThreadCounts(maxThreads) {
+			key := tkey(cfg.String(), threads)
+			if _, ok := idx[key]; ok {
+				continue
+			}
+			enc, dec, err := measure(cfg, threads, sample, reps)
+			if err != nil {
+				return nil, measured, err
+			}
+			e := TrainEntry{Config: cfg.String(), Threads: threads, EncMBs: enc, DecMBs: dec}
+			table.Entries = append(table.Entries, e)
+			idx[key] = e
+			measured++
+		}
+	}
+	sort.Slice(table.Entries, func(i, j int) bool {
+		a, b := table.Entries[i], table.Entries[j]
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.Threads < b.Threads
+	})
+	return table, measured, nil
+}
+
+// trainingSample builds a reproducible pseudo-random buffer; content
+// barely affects ECC throughput but determinism keeps runs comparable.
+func trainingSample(n int) []byte {
+	rng := rand.New(rand.NewSource(0x41524331)) // "ARC1"
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(rng.Intn(256))
+	}
+	return buf
+}
+
+// measure times one configuration at one thread count.
+func measure(cfg Config, threads int, sample []byte, reps int) (encMBs, decMBs float64, err error) {
+	code, err := cfg.Build(threads)
+	if err != nil {
+		return 0, 0, err
+	}
+	mb := float64(len(sample)) / (1 << 20)
+	var encT, decT time.Duration
+	var enc []byte
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		enc = code.Encode(sample)
+		encT += time.Since(t0)
+		t1 := time.Now()
+		if _, _, derr := code.Decode(enc, len(sample)); derr != nil {
+			return 0, 0, fmt.Errorf("core: training decode failed for %s: %w", cfg, derr)
+		}
+		decT += time.Since(t1)
+	}
+	encSec := encT.Seconds() / float64(reps)
+	decSec := decT.Seconds() / float64(reps)
+	if encSec <= 0 {
+		encSec = 1e-9
+	}
+	if decSec <= 0 {
+		decSec = 1e-9
+	}
+	return mb / encSec, mb / decSec, nil
+}
+
+// DefaultCacheDir returns the ARC cache directory: $ARC_CACHE_DIR if
+// set, else <user cache dir>/arc.
+func DefaultCacheDir() string {
+	if d := os.Getenv("ARC_CACHE_DIR"); d != "" {
+		return d
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ".arc-cache"
+	}
+	return filepath.Join(base, "arc")
+}

@@ -1,0 +1,130 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCESMProperties(t *testing.T) {
+	f := CESM(32, 64, 1)
+	if f.N() != 32*64 {
+		t.Fatalf("N = %d", f.N())
+	}
+	if f.Dims[0] != 32 || f.Dims[1] != 64 {
+		t.Fatalf("dims %v", f.Dims)
+	}
+	for i, v := range f.Data {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("CESM value %g at %d outside [0,1]", v, i)
+		}
+	}
+}
+
+func TestCESMDeterministic(t *testing.T) {
+	a := CESM(16, 16, 42)
+	b := CESM(16, 16, 42)
+	c := CESM(16, 16, 43)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestIsabelProperties(t *testing.T) {
+	f := Isabel(4, 32, 32, 2)
+	if f.N() != 4*32*32 {
+		t.Fatalf("N = %d", f.N())
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite pressure value")
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Pressure-like scale: vortex depression below ambient.
+	if hi < 900 || hi > 1100 {
+		t.Fatalf("surface pressure %g implausible", hi)
+	}
+	if hi-lo < 50 {
+		t.Fatalf("field too flat (range %g); vortex missing?", hi-lo)
+	}
+}
+
+func TestNYXProperties(t *testing.T) {
+	f := NYX(8, 8, 8, 3)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("temperature must be positive and finite")
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi/lo < 10 {
+		t.Fatalf("NYX should span orders of magnitude, got ratio %g", hi/lo)
+	}
+}
+
+func TestStudyFields(t *testing.T) {
+	fs := StudyFields(1, 7)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 fields, got %d", len(fs))
+	}
+	names := map[string]bool{}
+	for _, f := range fs {
+		names[f.Name] = true
+		if f.N() == 0 {
+			t.Fatalf("%s is empty", f.Name)
+		}
+	}
+	if !names["CESM-CLDLOW"] || !names["Isabel-P"] || !names["NYX-T"] {
+		t.Fatalf("unexpected names %v", names)
+	}
+	// Sizes must differ (the paper picks datasets of different sizes).
+	if fs[0].N() == fs[1].N() && fs[1].N() == fs[2].N() {
+		t.Fatal("fields should differ in size")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"CESM", "Isabel", "NYX", "cesm", "isabel", "nyx"} {
+		if _, err := ByName(n, 1, 1); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	if _, err := ByName("bogus", 1, 1); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestScale(t *testing.T) {
+	small := CESM(32, 64, 1)
+	big := StudyFields(2, 1)[0]
+	if big.N() <= small.N() {
+		t.Fatal("scale 2 must be larger than scale 1")
+	}
+	if f := StudyFields(0, 1); f[0].N() != StudyFields(1, 1)[0].N() {
+		t.Fatal("scale < 1 must clamp to 1")
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	f := CESM(32, 64, 1)
+	s := f.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,125 @@
+package datasets
+
+// Raw dataset loading: users with the actual SDRBench files (CESM
+// CLDLOW, Hurricane Isabel Pf48, NYX temperature) can reproduce the
+// study on the paper's exact inputs. SDRBench distributes flat binary
+// arrays of little-endian float32 or float64 with the dimensions
+// published out of band.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// DType enumerates raw element types.
+type DType int
+
+const (
+	// Float32 is SDRBench's usual element type.
+	Float32 DType = iota + 1
+	// Float64 for double-precision dumps.
+	Float64
+)
+
+func (d DType) size() int {
+	switch d {
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// maxRawElements caps loads so a typo'd dimension cannot OOM the host.
+const maxRawElements = 1 << 30
+
+// ReadRaw decodes a flat little-endian array of the given type and
+// dimensions from r.
+func ReadRaw(r io.Reader, name string, dims []int, dtype DType) (*Field, error) {
+	if len(dims) < 1 || len(dims) > 3 {
+		return nil, fmt.Errorf("datasets: want 1-3 dims, got %d", len(dims))
+	}
+	esize := dtype.size()
+	if esize == 0 {
+		return nil, fmt.Errorf("datasets: unknown dtype %d", dtype)
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("datasets: non-positive dimension %d", d)
+		}
+		n *= d
+		if n > maxRawElements {
+			return nil, fmt.Errorf("datasets: %v exceeds the element cap", dims)
+		}
+	}
+	raw := make([]byte, n*esize)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("datasets: reading %d elements: %w", n, err)
+	}
+	data := make([]float64, n)
+	switch dtype {
+	case Float32:
+		for i := range data {
+			data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		}
+	case Float64:
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	}
+	return &Field{Name: name, Data: data, Dims: append([]int(nil), dims...)}, nil
+}
+
+// LoadRaw reads a raw dataset file, verifying its size matches the
+// dimensions exactly (a mismatch almost always means wrong dims or
+// dtype, the classic SDRBench footgun).
+func LoadRaw(path string, dims []int, dtype DType) (*Field, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	want := int64(n * dtype.size())
+	if fi.Size() != want {
+		return nil, fmt.Errorf("datasets: %s is %d bytes but dims %v x %d-byte elements need %d",
+			path, fi.Size(), dims, dtype.size(), want)
+	}
+	return ReadRaw(f, path, dims, dtype)
+}
+
+// WriteRaw writes a field as flat little-endian data of the given
+// type (float32 values are rounded), the inverse of ReadRaw — useful
+// for exporting synthetic fields to tools expecting SDRBench layout.
+func WriteRaw(w io.Writer, f *Field, dtype DType) error {
+	esize := dtype.size()
+	if esize == 0 {
+		return fmt.Errorf("datasets: unknown dtype %d", dtype)
+	}
+	buf := make([]byte, len(f.Data)*esize)
+	switch dtype {
+	case Float32:
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+	case Float64:
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}

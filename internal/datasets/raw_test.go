@@ -1,0 +1,100 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRawRoundTripFloat32(t *testing.T) {
+	f := CESM(8, 16, 1)
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, f, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != f.N()*4 {
+		t.Fatalf("wrote %d bytes", buf.Len())
+	}
+	got, err := ReadRaw(&buf, "rt", f.Dims, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if math.Abs(got.Data[i]-f.Data[i]) > 1e-6 {
+			t.Fatalf("float32 round trip off at %d: %g vs %g", i, got.Data[i], f.Data[i])
+		}
+	}
+}
+
+func TestRawRoundTripFloat64(t *testing.T) {
+	f := NYX(4, 4, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, f, Float64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRaw(&buf, "rt", f.Dims, Float64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if got.Data[i] != f.Data[i] {
+			t.Fatalf("float64 round trip must be exact at %d", i)
+		}
+	}
+}
+
+func TestLoadRawFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "field.f32")
+	f := Isabel(2, 8, 8, 3)
+	var buf bytes.Buffer
+	if err := WriteRaw(&buf, f, Float32); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRaw(path, f.Dims, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != f.N() {
+		t.Fatalf("loaded %d elements", got.N())
+	}
+	// Size mismatch (wrong dims) must fail with a helpful message.
+	_, err = LoadRaw(path, []int{2, 8, 9}, Float32)
+	if err == nil || !strings.Contains(err.Error(), "need") {
+		t.Fatalf("dims mismatch should explain itself, got %v", err)
+	}
+	// Wrong dtype: size check also catches it.
+	if _, err := LoadRaw(path, f.Dims, Float64); err == nil {
+		t.Fatal("wrong dtype must fail")
+	}
+}
+
+func TestRawValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := ReadRaw(&buf, "x", []int{0}, Float32); err == nil {
+		t.Fatal("zero dim must fail")
+	}
+	if _, err := ReadRaw(&buf, "x", []int{1, 1, 1, 1}, Float32); err == nil {
+		t.Fatal("4D must fail")
+	}
+	if _, err := ReadRaw(&buf, "x", []int{4}, DType(9)); err == nil {
+		t.Fatal("bad dtype must fail")
+	}
+	if _, err := ReadRaw(&buf, "x", []int{1 << 11, 1 << 11, 1 << 11}, Float32); err == nil {
+		t.Fatal("element cap must trip")
+	}
+	// Truncated stream.
+	buf.Write([]byte{1, 2, 3})
+	if _, err := ReadRaw(&buf, "x", []int{4}, Float32); err == nil {
+		t.Fatal("truncated stream must fail")
+	}
+	if _, err := LoadRaw("/nonexistent/file", []int{1}, Float32); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

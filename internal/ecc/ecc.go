@@ -1,0 +1,130 @@
+// Package ecc defines the shared contract implemented by ARC's four
+// error-correcting codes (parity, Hamming, SEC-DED, Reed-Solomon) and
+// the capability/flag vocabulary the ARC optimizer filters on.
+package ecc
+
+import "errors"
+
+// Code is an error-correcting code over byte streams. Implementations
+// are stateless after construction and safe for concurrent use.
+type Code interface {
+	// Name identifies the code and its parameters, e.g. "secded8" or
+	// "rs-k241-m15".
+	Name() string
+
+	// Overhead is the asymptotic storage overhead as a fraction of the
+	// input size (0.125 means the encoded stream is ~12.5% larger).
+	Overhead() float64
+
+	// EncodedSize returns the exact encoded length in bytes for an
+	// input of n bytes.
+	EncodedSize(n int) int
+
+	// Encode protects data and returns the encoded stream. The input
+	// is not modified.
+	Encode(data []byte) []byte
+
+	// Decode verifies encoded, corrects what it can, and returns the
+	// original data (of length origLen, which the caller persists out
+	// of band — ARC's container header carries it). A non-nil error
+	// means errors were detected that the code could not correct; the
+	// returned Report is valid either way.
+	Decode(encoded []byte, origLen int) ([]byte, Report, error)
+
+	// Caps describes what error patterns the code can detect/correct.
+	Caps() Capability
+}
+
+// Report summarizes what a Decode observed.
+type Report struct {
+	// DetectedBlocks is the number of code blocks (parity blocks,
+	// Hamming codewords, or RS devices) in which an error was detected.
+	DetectedBlocks int
+	// CorrectedBits is the number of bit corrections applied (for
+	// Reed-Solomon, rebuilt devices count via CorrectedBlocks instead).
+	CorrectedBits int
+	// CorrectedBlocks is the number of code blocks fully repaired.
+	CorrectedBlocks int
+}
+
+// Merge accumulates another report into r (used by parallel decodes).
+func (r *Report) Merge(o Report) {
+	r.DetectedBlocks += o.DetectedBlocks
+	r.CorrectedBits += o.CorrectedBits
+	r.CorrectedBlocks += o.CorrectedBlocks
+}
+
+// ErrUncorrectable reports that decode found errors beyond the code's
+// correction ability. Wrap with context; test with errors.Is.
+var ErrUncorrectable = errors.New("ecc: detected errors are uncorrectable")
+
+// ErrTruncated reports that an encoded stream is shorter than its
+// parameters require.
+var ErrTruncated = errors.New("ecc: encoded stream truncated")
+
+// Method enumerates the ECC families ARC offers (the paper's
+// ARC_PARITY, ARC_HAMMING, ARC_SECDED, ARC_RS flags).
+type Method uint8
+
+const (
+	MethodParity Method = iota + 1
+	MethodHamming
+	MethodSECDED
+	MethodReedSolomon
+	// MethodInterleavedSECDED is ARC's extension method: SEC-DED(72,64)
+	// behind a codeword interleaver, correcting single bursts up to the
+	// interleave depth at SEC-DED's storage cost.
+	MethodInterleavedSECDED
+)
+
+// String returns the paper's flag spelling for the method.
+func (m Method) String() string {
+	switch m {
+	case MethodParity:
+		return "ARC_PARITY"
+	case MethodHamming:
+		return "ARC_HAMMING"
+	case MethodSECDED:
+		return "ARC_SECDED"
+	case MethodReedSolomon:
+		return "ARC_RS"
+	case MethodInterleavedSECDED:
+		return "ARC_IL_SECDED"
+	default:
+		return "ARC_UNKNOWN"
+	}
+}
+
+// Capability is a bitmask of error-response abilities (the paper's
+// ARC_DET_SPARSE, ARC_COR_SPARSE, ARC_COR_BURST flags).
+type Capability uint8
+
+const (
+	// DetectSparse: detects sparse, uniformly distributed errors.
+	DetectSparse Capability = 1 << iota
+	// CorrectSparse: corrects sparse, uniformly distributed errors.
+	CorrectSparse
+	// CorrectBurst: corrects densely packed burst errors.
+	CorrectBurst
+)
+
+// Has reports whether c includes every capability in want.
+func (c Capability) Has(want Capability) bool { return c&want == want }
+
+// String lists the capability flags in the paper's spelling.
+func (c Capability) String() string {
+	s := ""
+	if c.Has(DetectSparse) {
+		s += "ARC_DET_SPARSE|"
+	}
+	if c.Has(CorrectSparse) {
+		s += "ARC_COR_SPARSE|"
+	}
+	if c.Has(CorrectBurst) {
+		s += "ARC_COR_BURST|"
+	}
+	if s == "" {
+		return "NONE"
+	}
+	return s[:len(s)-1]
+}

@@ -1,0 +1,58 @@
+package ecc
+
+import "testing"
+
+func TestMethodString(t *testing.T) {
+	want := map[Method]string{
+		MethodParity:      "ARC_PARITY",
+		MethodHamming:     "ARC_HAMMING",
+		MethodSECDED:      "ARC_SECDED",
+		MethodReedSolomon: "ARC_RS",
+		Method(99):        "ARC_UNKNOWN",
+	}
+	for m, w := range want {
+		if m.String() != w {
+			t.Fatalf("%d: %q", m, m.String())
+		}
+	}
+}
+
+func TestCapabilityHas(t *testing.T) {
+	c := DetectSparse | CorrectSparse
+	if !c.Has(DetectSparse) || !c.Has(CorrectSparse) {
+		t.Fatal("Has must match set bits")
+	}
+	if c.Has(CorrectBurst) {
+		t.Fatal("Has must reject unset bits")
+	}
+	if !c.Has(DetectSparse | CorrectSparse) {
+		t.Fatal("Has must accept subsets")
+	}
+	if c.Has(DetectSparse | CorrectBurst) {
+		t.Fatal("Has requires every bit")
+	}
+	if !c.Has(0) {
+		t.Fatal("empty requirement always satisfied")
+	}
+}
+
+func TestCapabilityString(t *testing.T) {
+	if got := (DetectSparse | CorrectSparse | CorrectBurst).String(); got != "ARC_DET_SPARSE|ARC_COR_SPARSE|ARC_COR_BURST" {
+		t.Fatalf("full caps: %q", got)
+	}
+	if got := Capability(0).String(); got != "NONE" {
+		t.Fatalf("empty caps: %q", got)
+	}
+	if got := CorrectBurst.String(); got != "ARC_COR_BURST" {
+		t.Fatalf("single cap: %q", got)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a := Report{DetectedBlocks: 1, CorrectedBits: 2, CorrectedBlocks: 3}
+	b := Report{DetectedBlocks: 10, CorrectedBits: 20, CorrectedBlocks: 30}
+	a.Merge(b)
+	if a.DetectedBlocks != 11 || a.CorrectedBits != 22 || a.CorrectedBlocks != 33 {
+		t.Fatalf("merged %+v", a)
+	}
+}

@@ -1,0 +1,339 @@
+// Package hamming implements ARC's single-error-correcting Hamming
+// codes over 8-bit and 64-bit data blocks, plus the extended (SEC-DED)
+// variant used by internal/ecc/secded.
+//
+// Codewords use the classical positional construction: data bits occupy
+// the non-power-of-two positions 1..n of a codeword, parity bits the
+// power-of-two positions, and the syndrome of a received word equals
+// the position of a single flipped bit. The extended variant appends an
+// overall parity bit, which separates single errors (correctable) from
+// double errors (detectable only).
+//
+// Encoded layout: the data verbatim, followed by the per-block check
+// bits packed MSB-first. Keeping data contiguous means encode is a copy
+// plus check-bit computation and decode verifies in place — the layout
+// of the protected stream never interleaves.
+package hamming
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/ecc"
+	"repro/internal/parallel"
+)
+
+// Params holds the derived constants for a Hamming code over k data
+// bits.
+type Params struct {
+	K        int      // data bits per block (8 or 64)
+	R        int      // parity bits
+	N        int      // codeword length K + R
+	Extended bool     // SEC-DED: one extra overall parity bit
+	CheckLen int      // check bits per block: R (+1 if Extended)
+	dataPos  []int    // codeword position of data bit i
+	posToBit []int    // codeword position -> data bit index, -1 for parity
+	masks    []uint64 // masks[j]: data bits covered by parity j
+}
+
+// NewParams derives the code constants for k data bits. Only k = 8 and
+// k = 64 are supported — the two block widths the paper's ARC engine
+// offers ("both generate parity bits for one byte or eight byte data
+// blocks at a time").
+func NewParams(k int, extended bool) *Params {
+	if k != 8 && k != 64 {
+		panic(fmt.Sprintf("hamming: unsupported data width %d (want 8 or 64)", k))
+	}
+	r := 0
+	for (1 << r) < k+r+1 {
+		r++
+	}
+	p := &Params{K: k, R: r, N: k + r, Extended: extended}
+	p.CheckLen = r
+	if extended {
+		p.CheckLen++
+	}
+	p.dataPos = make([]int, 0, k)
+	p.posToBit = make([]int, p.N+1)
+	for i := range p.posToBit {
+		p.posToBit[i] = -1
+	}
+	for pos := 1; pos <= p.N; pos++ {
+		if pos&(pos-1) == 0 { // power of two: parity position
+			continue
+		}
+		p.posToBit[pos] = len(p.dataPos)
+		p.dataPos = append(p.dataPos, pos)
+	}
+	if len(p.dataPos) != k {
+		panic("hamming: internal position accounting error")
+	}
+	p.masks = make([]uint64, r)
+	for j := 0; j < r; j++ {
+		var m uint64
+		for i, pos := range p.dataPos {
+			if pos&(1<<j) != 0 {
+				m |= 1 << i
+			}
+		}
+		p.masks[j] = m
+	}
+	return p
+}
+
+// checkBits computes the parity bits (bit j of the result is parity j)
+// for a data block.
+func (p *Params) checkBits(data uint64) byte {
+	var c byte
+	for j, m := range p.masks {
+		c |= byte(bits.OnesCount64(data&m)&1) << j
+	}
+	return c
+}
+
+// Code is a Hamming (or extended Hamming) code over fixed-width blocks.
+type Code struct {
+	P       *Params
+	Workers int
+	// nameOverride lets the secded package present the extended code
+	// under its own family name.
+	nameOverride string
+}
+
+// New returns a single-error-correcting Hamming code over dataBits-wide
+// blocks (8 or 64).
+func New(dataBits, workers int) *Code {
+	return &Code{P: NewParams(dataBits, false), Workers: workers}
+}
+
+// NewExtended returns the SEC-DED variant; used by internal/ecc/secded.
+func NewExtended(dataBits, workers int, name string) *Code {
+	return &Code{P: NewParams(dataBits, true), Workers: workers, nameOverride: name}
+}
+
+// Name implements ecc.Code.
+func (c *Code) Name() string {
+	if c.nameOverride != "" {
+		return c.nameOverride
+	}
+	return fmt.Sprintf("hamming%d", c.P.K)
+}
+
+// Caps implements ecc.Code.
+func (c *Code) Caps() ecc.Capability {
+	caps := ecc.DetectSparse | ecc.CorrectSparse
+	return caps
+}
+
+// Overhead implements ecc.Code.
+func (c *Code) Overhead() float64 {
+	return float64(c.P.CheckLen) / float64(c.P.K)
+}
+
+// blockBytes is the data bytes per block.
+func (c *Code) blockBytes() int { return c.P.K / 8 }
+
+func (c *Code) blocks(n int) int {
+	bb := c.blockBytes()
+	return (n + bb - 1) / bb
+}
+
+// EncodedSize implements ecc.Code.
+func (c *Code) EncodedSize(n int) int {
+	return n + (c.blocks(n)*c.P.CheckLen+7)/8
+}
+
+// loadBlock reads block b of data as a little-endian uint64, zero
+// padding a trailing partial block.
+func (c *Code) loadBlock(data []byte, b int) uint64 {
+	bb := c.blockBytes()
+	start := b * bb
+	end := start + bb
+	if end <= len(data) {
+		if bb == 8 {
+			return binary.LittleEndian.Uint64(data[start:end])
+		}
+		return uint64(data[start])
+	}
+	var tmp [8]byte
+	copy(tmp[:], data[start:])
+	return binary.LittleEndian.Uint64(tmp[:])
+}
+
+// storeBlock writes a (possibly corrected) block back into data.
+func (c *Code) storeBlock(data []byte, b int, v uint64) {
+	bb := c.blockBytes()
+	start := b * bb
+	for i := 0; i < bb && start+i < len(data); i++ {
+		data[start+i] = byte(v >> (8 * i))
+	}
+}
+
+// blockCheck computes the full check-bit word for a block: parity bits
+// in the low R bits, and (when extended) the overall parity bit above
+// them. Overall parity covers data bits and parity bits so that the
+// whole codeword has even weight.
+func (c *Code) blockCheck(data uint64) uint16 {
+	chk := uint16(c.P.checkBits(data))
+	if c.P.Extended {
+		overall := (bits.OnesCount64(data) + bits.OnesCount16(chk)) & 1
+		chk |= uint16(overall) << c.P.R
+	}
+	return chk
+}
+
+// Encode implements ecc.Code.
+func (c *Code) Encode(data []byte) []byte {
+	n := len(data)
+	nb := c.blocks(n)
+	out := make([]byte, c.EncodedSize(n))
+	copy(out, data)
+	chk := out[n:]
+	cl := c.P.CheckLen
+	// Workers own whole check bytes; with CheckLen in {4,5,7,8}, block
+	// boundaries rarely align to bytes, so parallelize over groups of
+	// blocks whose check bits start at a byte boundary: lcm(cl,8)/cl
+	// blocks per group.
+	group := lcm(cl, 8) / cl
+	groups := (nb + group - 1) / group
+	parallel.For(groups, c.Workers, func(glo, ghi int) {
+		for g := glo; g < ghi; g++ {
+			bitPos := g * group * cl
+			for b := g * group; b < (g+1)*group && b < nb; b++ {
+				v := c.blockCheck(c.loadBlock(data, b))
+				writeBits(chk, bitPos, uint64(v), cl)
+				bitPos += cl
+			}
+		}
+	})
+	return out
+}
+
+// Decode implements ecc.Code.
+func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	var rep ecc.Report
+	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
+		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
+	}
+	out := make([]byte, origLen)
+	copy(out, encoded[:origLen])
+	chk := encoded[origLen:c.EncodedSize(origLen)]
+	nb := c.blocks(origLen)
+	cl := c.P.CheckLen
+	group := lcm(cl, 8) / cl
+	groups := (nb + group - 1) / group
+	var detected, corrBits, corrBlocks, uncorrectable int64
+	parallel.For(groups, c.Workers, func(glo, ghi int) {
+		var ldet, lbits, lblocks, lunc int64
+		for g := glo; g < ghi; g++ {
+			bitPos := g * group * cl
+			for b := g * group; b < (g+1)*group && b < nb; b++ {
+				stored := uint16(readBits(chk, bitPos, cl))
+				bitPos += cl
+				data := c.loadBlock(out, b)
+				storedParity := stored & ((1 << c.P.R) - 1)
+				syndrome := int(storedParity ^ uint16(c.P.checkBits(data)))
+				if c.P.Extended {
+					// Encode makes the whole codeword (data bits,
+					// parity bits, overall bit) even-weight, so an odd
+					// received weight means an odd number of flips.
+					odd := (bits.OnesCount64(data)+bits.OnesCount16(stored))&1 == 1
+					switch {
+					case syndrome == 0 && !odd:
+						continue // clean
+					case syndrome == 0 && odd:
+						// Only the overall parity bit flipped; the data
+						// and check bits agree.
+						ldet++
+						lbits++
+						lblocks++
+					case odd:
+						// Single error; the syndrome names its position.
+						ldet++
+						if syndrome > c.P.N {
+							// A position outside the codeword means at
+							// least a triple flip. Detect only.
+							lunc++
+							continue
+						}
+						if bi := c.P.posToBit[syndrome]; bi >= 0 {
+							c.storeBlock(out, b, data^(1<<bi))
+						}
+						// Syndrome at a parity position: the stored
+						// check bits were hit; data is already correct.
+						lbits++
+						lblocks++
+					default:
+						// Nonzero syndrome with even weight: a double
+						// error. Detect only — this is the "DED" in
+						// SEC-DED.
+						ldet++
+						lunc++
+					}
+					continue
+				}
+				if syndrome == 0 {
+					continue
+				}
+				ldet++
+				if syndrome > c.P.N {
+					// Syndrome points outside the codeword: multi-bit
+					// corruption. Detect only.
+					lunc++
+					continue
+				}
+				if bi := c.P.posToBit[syndrome]; bi >= 0 {
+					c.storeBlock(out, b, data^(1<<bi))
+				}
+				lbits++
+				lblocks++
+			}
+		}
+		atomic.AddInt64(&detected, ldet)
+		atomic.AddInt64(&corrBits, lbits)
+		atomic.AddInt64(&corrBlocks, lblocks)
+		atomic.AddInt64(&uncorrectable, lunc)
+	})
+	rep.DetectedBlocks = int(detected)
+	rep.CorrectedBits = int(corrBits)
+	rep.CorrectedBlocks = int(corrBlocks)
+	if uncorrectable > 0 {
+		return out, rep, fmt.Errorf("%w: %d block(s) with multi-bit damage", ecc.ErrUncorrectable, uncorrectable)
+	}
+	return out, rep, nil
+}
+
+// writeBits stores the low `width` bits of v into buf starting at
+// absolute bit position pos (MSB-first within each byte), most
+// significant of the field first.
+func writeBits(buf []byte, pos int, v uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		if v>>i&1 == 1 {
+			buf[pos/8] |= 0x80 >> (pos % 8)
+		}
+		pos++
+	}
+}
+
+// readBits extracts `width` bits starting at bit position pos.
+func readBits(buf []byte, pos int, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		v = v<<1 | uint64(buf[pos/8]>>(7-pos%8)&1)
+		pos++
+	}
+	return v
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+var _ ecc.Code = (*Code)(nil)

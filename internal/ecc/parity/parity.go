@@ -1,0 +1,141 @@
+// Package parity implements ARC's lightest-weight protection: one even
+// parity bit per N-byte data block. It detects any odd number of bit
+// flips within a block (so all single-bit errors) but corrects nothing,
+// matching the paper's ARC_PARITY method.
+package parity
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/ecc"
+	"repro/internal/parallel"
+)
+
+// Code protects data with one even-parity bit per BlockBytes of data.
+//
+// Encoded layout: the data verbatim, followed by the parity bits packed
+// MSB-first (bit for block 0 in the high bit of the first parity byte).
+type Code struct {
+	// BlockBytes is the number of data bytes covered by each parity
+	// bit. Smaller blocks raise overhead and detection granularity.
+	BlockBytes int
+	// Workers is the parallelism level (0 = GOMAXPROCS).
+	Workers int
+}
+
+// New returns a parity code with the given block size in bytes.
+// It panics when blockBytes is not positive, which indicates a
+// programming error in configuration construction.
+func New(blockBytes, workers int) *Code {
+	if blockBytes <= 0 {
+		panic("parity: BlockBytes must be positive")
+	}
+	return &Code{BlockBytes: blockBytes, Workers: workers}
+}
+
+// Name implements ecc.Code.
+func (c *Code) Name() string { return fmt.Sprintf("parity%d", c.BlockBytes) }
+
+// Caps implements ecc.Code: parity detects sparse errors only.
+func (c *Code) Caps() ecc.Capability { return ecc.DetectSparse }
+
+// Overhead implements ecc.Code: one bit per BlockBytes bytes.
+func (c *Code) Overhead() float64 { return 1.0 / (8.0 * float64(c.BlockBytes)) }
+
+// EncodedSize implements ecc.Code.
+func (c *Code) EncodedSize(n int) int {
+	return n + (c.blocks(n)+7)/8
+}
+
+func (c *Code) blocks(n int) int { return (n + c.BlockBytes - 1) / c.BlockBytes }
+
+// blockParity returns the even-parity bit (0 or 1) over the block.
+func blockParity(block []byte) byte {
+	var acc byte
+	for _, b := range block {
+		acc ^= b
+	}
+	return byte(bits.OnesCount8(acc) & 1)
+}
+
+// Encode implements ecc.Code. Workers own whole parity bytes (groups
+// of eight blocks), so no two goroutines write the same byte.
+func (c *Code) Encode(data []byte) []byte {
+	n := len(data)
+	nb := c.blocks(n)
+	out := make([]byte, c.EncodedSize(n))
+	copy(out, data)
+	par := out[n:]
+	parallel.For(len(par), c.Workers, func(lo, hi int) {
+		for pb := lo; pb < hi; pb++ {
+			var v byte
+			for j := 0; j < 8; j++ {
+				b := pb*8 + j
+				if b >= nb {
+					break
+				}
+				start := b * c.BlockBytes
+				end := start + c.BlockBytes
+				if end > n {
+					end = n
+				}
+				if blockParity(data[start:end]) == 1 {
+					v |= 0x80 >> j
+				}
+			}
+			par[pb] = v
+		}
+	})
+	return out
+}
+
+// Decode implements ecc.Code. Parity corrects nothing: if any block's
+// parity mismatches, Decode returns the (possibly corrupt) data along
+// with ecc.ErrUncorrectable so the caller can decide what to salvage.
+func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	var rep ecc.Report
+	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
+		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
+	}
+	data := encoded[:origLen]
+	par := encoded[origLen:c.EncodedSize(origLen)]
+	nb := c.blocks(origLen)
+	var detected int64
+	parallel.For(len(par), c.Workers, func(lo, hi int) {
+		local := 0
+		for pb := lo; pb < hi; pb++ {
+			var v byte
+			for j := 0; j < 8; j++ {
+				b := pb*8 + j
+				if b >= nb {
+					break
+				}
+				start := b * c.BlockBytes
+				end := start + c.BlockBytes
+				if end > origLen {
+					end = origLen
+				}
+				if blockParity(data[start:end]) == 1 {
+					v |= 0x80 >> j
+				}
+			}
+			if diff := v ^ par[pb]; diff != 0 {
+				local += bits.OnesCount8(diff)
+			}
+		}
+		if local > 0 {
+			atomic.AddInt64(&detected, int64(local))
+		}
+	})
+	rep.DetectedBlocks = int(detected)
+	out := make([]byte, origLen)
+	copy(out, data)
+	if rep.DetectedBlocks > 0 {
+		return out, rep, fmt.Errorf("%w: parity mismatch in %d block(s)", ecc.ErrUncorrectable, rep.DetectedBlocks)
+	}
+	return out, rep, nil
+}
+
+var _ ecc.Code = (*Code)(nil)

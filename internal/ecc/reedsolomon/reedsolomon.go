@@ -1,0 +1,320 @@
+// Package reedsolomon implements ARC's strongest protection: a
+// systematic Reed-Solomon erasure code over GF(2^8), the stand-in for
+// the Jerasure library the paper leverages.
+//
+// Data is striped across K equally sized "data devices"; each stripe
+// gains M parity ("code") devices computed from a Vandermonde-derived
+// systematic generator matrix. A per-device CRC-32 locates corrupted
+// devices — turning errors into erasures — and any M or fewer corrupted
+// devices per stripe are rebuilt by inverting the surviving rows of the
+// generator matrix. Because whole devices are repaired regardless of
+// how many bits within them flipped, the code corrects dense burst
+// errors, matching the paper's ARC_COR_BURST capability.
+//
+// Stripe layout: K data devices, then M parity devices, then a CRC
+// table of 4 bytes per device. A corrupted CRC entry merely marks its
+// (healthy) device as an erasure, which the same machinery repairs.
+package reedsolomon
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ecc"
+	"repro/internal/gf256"
+	"repro/internal/parallel"
+)
+
+// castagnoli is the CRC-32C table used for device checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Code is a Reed-Solomon code with K data devices and M code devices
+// per stripe of K*DeviceSize bytes.
+type Code struct {
+	K          int // data devices per stripe
+	M          int // code (parity) devices per stripe
+	DeviceSize int // bytes per device
+	Workers    int
+	// ChecksumBytes is the per-device checksum width: 4 (CRC-32C, the
+	// default) or 2 (truncated CRC-16 — less overhead, but a corrupted
+	// device escapes detection with probability 2^-16 instead of
+	// 2^-32; see BenchmarkAblationCRCWidth).
+	ChecksumBytes int
+
+	gen *gf256.Matrix // (K+M) x K systematic generator
+}
+
+// DefaultDeviceSize is used when callers pass deviceSize <= 0.
+const DefaultDeviceSize = 1024
+
+// genCache memoizes generator matrices per (K, M): deriving one costs
+// a K x K inversion, which would otherwise dominate small encodes.
+// Cached matrices are immutable after construction.
+var genCache sync.Map // genKey -> *gf256.Matrix
+
+type genKey struct{ k, m int }
+
+// New constructs a Reed-Solomon code. K and M must be positive with
+// K+M <= 256 (the field order); deviceSize <= 0 selects
+// DefaultDeviceSize.
+func New(k, m, deviceSize, workers int) (*Code, error) {
+	if deviceSize <= 0 {
+		deviceSize = DefaultDeviceSize
+	}
+	var gen *gf256.Matrix
+	if cached, ok := genCache.Load(genKey{k, m}); ok {
+		gen = cached.(*gf256.Matrix)
+	} else {
+		var err error
+		gen, err = gf256.RSGeneratorMatrix(k, m)
+		if err != nil {
+			return nil, fmt.Errorf("reedsolomon: %w", err)
+		}
+		genCache.Store(genKey{k, m}, gen)
+	}
+	return &Code{K: k, M: m, DeviceSize: deviceSize, Workers: workers, ChecksumBytes: 4, gen: gen}, nil
+}
+
+// NewCauchy is New with a Cauchy-derived generator matrix instead of
+// the Vandermonde one (Jerasure offers both constructions; the codes
+// are equally MDS but not stream-compatible with each other).
+func NewCauchy(k, m, deviceSize, workers int) (*Code, error) {
+	if deviceSize <= 0 {
+		deviceSize = DefaultDeviceSize
+	}
+	gen, err := gf256.RSCauchyGeneratorMatrix(k, m)
+	if err != nil {
+		return nil, fmt.Errorf("reedsolomon: %w", err)
+	}
+	return &Code{K: k, M: m, DeviceSize: deviceSize, Workers: workers, ChecksumBytes: 4, gen: gen}, nil
+}
+
+// WithChecksumBytes returns a copy of the code using the given device
+// checksum width (2 or 4 bytes).
+func (c *Code) WithChecksumBytes(n int) (*Code, error) {
+	if n != 2 && n != 4 {
+		return nil, fmt.Errorf("reedsolomon: checksum width must be 2 or 4, got %d", n)
+	}
+	cc := *c
+	cc.ChecksumBytes = n
+	return &cc, nil
+}
+
+// csBytes is ChecksumBytes with the zero value treated as 4.
+func (c *Code) csBytes() int {
+	if c.ChecksumBytes == 0 {
+		return 4
+	}
+	return c.ChecksumBytes
+}
+
+// checksum computes the device checksum at the configured width.
+func (c *Code) checksum(dev []byte) uint32 {
+	sum := crc32.Checksum(dev, castagnoli)
+	if c.csBytes() == 2 {
+		return sum & 0xFFFF
+	}
+	return sum
+}
+
+// putCS/getCS store checksums at the configured width.
+func (c *Code) putCS(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	if c.csBytes() == 4 {
+		b[2] = byte(v >> 16)
+		b[3] = byte(v >> 24)
+	}
+}
+
+func (c *Code) getCS(b []byte) uint32 {
+	v := uint32(b[0]) | uint32(b[1])<<8
+	if c.csBytes() == 4 {
+		v |= uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	return v
+}
+
+// Name implements ecc.Code.
+func (c *Code) Name() string { return fmt.Sprintf("rs-k%d-m%d", c.K, c.M) }
+
+// Caps implements ecc.Code.
+func (c *Code) Caps() ecc.Capability {
+	return ecc.DetectSparse | ecc.CorrectSparse | ecc.CorrectBurst
+}
+
+func (c *Code) stripeDataBytes() int { return c.K * c.DeviceSize }
+
+func (c *Code) stripeEncBytes() int {
+	return (c.K+c.M)*c.DeviceSize + (c.K+c.M)*c.csBytes()
+}
+
+// Overhead implements ecc.Code.
+func (c *Code) Overhead() float64 {
+	return float64(c.stripeEncBytes()-c.stripeDataBytes()) / float64(c.stripeDataBytes())
+}
+
+func (c *Code) stripes(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return (n + c.stripeDataBytes() - 1) / c.stripeDataBytes()
+}
+
+// EncodedSize implements ecc.Code.
+func (c *Code) EncodedSize(n int) int { return c.stripes(n) * c.stripeEncBytes() }
+
+// MaxCorrectableDevices returns M, the per-stripe correction budget.
+func (c *Code) MaxCorrectableDevices() int { return c.M }
+
+// Encode implements ecc.Code.
+func (c *Code) Encode(data []byte) []byte {
+	n := len(data)
+	ns := c.stripes(n)
+	out := make([]byte, c.EncodedSize(n))
+	sdb := c.stripeDataBytes()
+	seb := c.stripeEncBytes()
+	parallel.For(ns, c.Workers, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			src := data[min(s*sdb, n):min((s+1)*sdb, n)]
+			c.encodeStripe(src, out[s*seb:(s+1)*seb])
+		}
+	})
+	return out
+}
+
+// encodeStripe fills one encoded stripe from up to stripeDataBytes of
+// source data (shorter input is zero-padded).
+func (c *Code) encodeStripe(src, dst []byte) {
+	ds := c.DeviceSize
+	copy(dst, src) // data devices, zero padding preserved by fresh dst
+	devices := dst[:(c.K+c.M)*ds]
+	// Parity devices: parity_i = sum_j gen[K+i][j] * data_j.
+	for i := 0; i < c.M; i++ {
+		row := c.gen.Row(c.K + i)
+		pdev := devices[(c.K+i)*ds : (c.K+i+1)*ds]
+		for j := 0; j < c.K; j++ {
+			gf256.MulSlice(row[j], devices[j*ds:(j+1)*ds], pdev)
+		}
+	}
+	// Checksum table.
+	cs := c.csBytes()
+	crcs := dst[(c.K+c.M)*ds:]
+	for d := 0; d < c.K+c.M; d++ {
+		c.putCS(crcs[d*cs:], c.checksum(devices[d*ds:(d+1)*ds]))
+	}
+}
+
+// Decode implements ecc.Code.
+func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	var rep ecc.Report
+	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
+		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
+	}
+	ns := c.stripes(origLen)
+	out := make([]byte, origLen)
+	sdb := c.stripeDataBytes()
+	seb := c.stripeEncBytes()
+	var detected, corrected, failed int64
+	parallel.For(ns, c.Workers, func(lo, hi int) {
+		var ldet, lcor, lfail int64
+		for s := lo; s < hi; s++ {
+			dst := out[min(s*sdb, origLen):min((s+1)*sdb, origLen)]
+			det, cor, err := c.decodeStripe(encoded[s*seb:(s+1)*seb], dst)
+			ldet += int64(det)
+			lcor += int64(cor)
+			if err != nil {
+				lfail++
+			}
+		}
+		atomic.AddInt64(&detected, ldet)
+		atomic.AddInt64(&corrected, lcor)
+		atomic.AddInt64(&failed, lfail)
+	})
+	rep.DetectedBlocks = int(detected)
+	rep.CorrectedBlocks = int(corrected)
+	if failed > 0 {
+		return out, rep, fmt.Errorf("%w: %d stripe(s) had more than %d corrupt devices", ecc.ErrUncorrectable, failed, c.M)
+	}
+	return out, rep, nil
+}
+
+// decodeStripe verifies one stripe and writes the recovered data
+// region into dst (len(dst) <= stripeDataBytes for the final stripe).
+// It returns the number of corrupt devices detected and rebuilt.
+func (c *Code) decodeStripe(stripe, dst []byte) (detected, corrected int, err error) {
+	ds := c.DeviceSize
+	total := c.K + c.M
+	devices := stripe[:total*ds]
+	crcs := stripe[total*ds:]
+	cs := c.csBytes()
+	var bad []int
+	for d := 0; d < total; d++ {
+		if c.checksum(devices[d*ds:(d+1)*ds]) != c.getCS(crcs[d*cs:]) {
+			bad = append(bad, d)
+		}
+	}
+	if len(bad) == 0 {
+		copy(dst, devices)
+		return 0, 0, nil
+	}
+	detected = len(bad)
+	if len(bad) > c.M {
+		// Best effort: return the raw data region so callers can
+		// inspect, but flag the stripe as unrecoverable.
+		copy(dst, devices)
+		return detected, 0, ecc.ErrUncorrectable
+	}
+	isBad := make(map[int]bool, len(bad))
+	for _, d := range bad {
+		isBad[d] = true
+	}
+	// Select the first K healthy devices and invert their generator
+	// rows: data = inv * healthy.
+	good := make([]int, 0, c.K)
+	for d := 0; d < total && len(good) < c.K; d++ {
+		if !isBad[d] {
+			good = append(good, d)
+		}
+	}
+	sub := c.gen.SubMatrix(good)
+	inv, ierr := sub.Invert()
+	if ierr != nil {
+		// Cannot happen for an MDS code; treat defensively as failure.
+		copy(dst, devices)
+		return detected, 0, ecc.ErrUncorrectable
+	}
+	// Rebuild only the bad *data* devices; parity devices need no
+	// reconstruction to produce output. The input stripe is never
+	// modified: repairs land in a scratch copy of the data region.
+	scratch := make([]byte, c.K*ds)
+	copy(scratch, devices[:c.K*ds])
+	for _, d := range bad {
+		if d >= c.K {
+			corrected++ // parity device: repairable, not needed
+			continue
+		}
+		rebuilt := scratch[d*ds : (d+1)*ds]
+		for i := range rebuilt {
+			rebuilt[i] = 0
+		}
+		row := inv.Row(d)
+		for j, g := range good {
+			gf256.MulSlice(row[j], devices[g*ds:(g+1)*ds], rebuilt)
+		}
+		corrected++
+	}
+	copy(dst, scratch)
+	return detected, corrected, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ ecc.Code = (*Code)(nil)

@@ -1,0 +1,23 @@
+// Package secded implements ARC's SEC-DED (single-error-correct,
+// double-error-detect) codes: extended Hamming codes with an extra
+// overall parity bit over 8-bit and 64-bit data blocks, i.e. the
+// classical (13,8) and (72,64) codes.
+//
+// The codeword engine lives in internal/ecc/hamming; this package
+// instantiates its extended variant and brands it with the SEC-DED
+// family name and capabilities.
+package secded
+
+import (
+	"fmt"
+
+	"repro/internal/ecc"
+	"repro/internal/ecc/hamming"
+)
+
+// New returns a SEC-DED code over dataBits-wide blocks (8 or 64).
+func New(dataBits, workers int) *hamming.Code {
+	return hamming.NewExtended(dataBits, workers, fmt.Sprintf("secded%d", dataBits))
+}
+
+var _ ecc.Code = (*hamming.Code)(nil)

@@ -1,0 +1,98 @@
+// Package experiments implements the paper's evaluation: one function
+// per table or figure, each regenerating the corresponding rows or
+// series on this machine. The cmd/ binaries and the repository-level
+// benchmarks are thin wrappers around this package (the DESIGN.md
+// per-experiment index maps figures to these functions).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple text table for experiment output.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Caption != "" {
+		fmt.Fprintln(w, t.Caption)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func eg(v float64) string  { return fmt.Sprintf("%.3g", v) }
+func iS(v int) string      { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// WriteCSV renders the table as RFC-4180-ish CSV (header row first),
+// for piping experiment output into plotting tools.
+func (t *Table) WriteCSV(w io.Writer) {
+	writeCSVRow(w, t.Header)
+	for _, r := range t.Rows {
+		writeCSVRow(w, r)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			fmt.Fprintf(w, "%q", c)
+		} else {
+			fmt.Fprint(w, c)
+		}
+	}
+	fmt.Fprintln(w)
+}

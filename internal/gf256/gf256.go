@@ -1,0 +1,178 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8),
+// the substrate for the Reed-Solomon coder in internal/ecc/reedsolomon.
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the same polynomial used by most
+// storage erasure-coding libraries (including Jerasure, which the paper
+// builds on). Multiplication and division run through log/exp tables
+// built once at package init.
+package gf256
+
+// Poly is the primitive polynomial used to construct the field,
+// represented with the implicit x^8 term stripped (0x11D & 0xFF = 0x1D
+// plus the carry handling below).
+const Poly = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [510]byte // doubled so Mul can skip a mod 255
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		expTable[i+255] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	// logTable[0] is undefined in the field; leave it zero. Callers must
+	// special-case zero operands, as Mul and Div below do.
+}
+
+// Add returns a+b in GF(2^8). Addition is XOR; it is its own inverse,
+// so Sub is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8), which equals a+b.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). Div panics if b is zero, mirroring
+// integer division by zero; callers construct matrices from nonzero
+// pivots only.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics when a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns the generator element 2 raised to the power n (n may be
+// any non-negative integer; it is reduced mod 255).
+func Exp(n int) byte {
+	if n < 0 {
+		panic("gf256: negative exponent")
+	}
+	return expTable[n%255]
+}
+
+// Log returns the discrete logarithm base 2 of a. It panics when a is
+// zero, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a raised to the power n.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// MulSlice computes dst[i] ^= c * src[i] for every index, the inner
+// kernel of Reed-Solomon encoding. dst and src must be the same length.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	// Build the 256-entry row for this coefficient once; it turns the
+	// inner loop into a table lookup plus XOR.
+	row := mulRow(c)
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// MulSliceAssign computes dst[i] = c * src[i] (overwrite, not
+// accumulate) for every index.
+func MulSliceAssign(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSliceAssign length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := mulRow(c)
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}
+
+// mulTables caches the 256-entry multiplication row per coefficient.
+// Rows are built lazily; the array of pointers is fixed size so access
+// is race-free after construction only if callers serialize — to keep
+// the package dependency-free we build rows on the fly instead when
+// contention is possible. Encoding paths in this repo precompute rows
+// via Table.
+var mulTables [256]*[256]byte
+
+func init() {
+	// Precompute all rows eagerly: 64 KiB total, built once, immutable
+	// afterwards, hence safe for concurrent readers.
+	for c := 0; c < 256; c++ {
+		var row [256]byte
+		for x := 0; x < 256; x++ {
+			row[x] = Mul(byte(c), byte(x))
+		}
+		r := row
+		mulTables[c] = &r
+	}
+}
+
+func mulRow(c byte) *[256]byte { return mulTables[c] }
+
+// Table returns the full multiplication row for coefficient c:
+// Table(c)[x] == Mul(c, x). The returned array must not be modified.
+func Table(c byte) *[256]byte { return mulRow(c) }

@@ -1,0 +1,317 @@
+// Package huffman implements a canonical Huffman codec for the
+// quantization-code streams produced by the SZ-like compressor
+// (internal/sz). The code table is serialized into the compressed
+// stream — exactly the loop-controlling metadata whose corruption the
+// paper's fault study traces to decompression exceptions and timeouts.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// MaxCodeLen bounds code lengths so serialized lengths fit in 6 bits
+// and decode state fits a uint64.
+const MaxCodeLen = 63
+
+// ErrCorrupt reports an invalid serialized table or bitstream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// Codec is a canonical Huffman code over the alphabet [0, NumSymbols).
+type Codec struct {
+	NumSymbols int
+	lengths    []uint8  // code length per symbol, 0 = unused
+	codes      []uint64 // canonical code per symbol (valid when length > 0)
+
+	// Canonical decode tables.
+	maxLen     int
+	firstCode  []uint64 // first canonical code of each length
+	firstIndex []int    // index into symsByCode of each length's first symbol
+	symsByCode []int32  // symbols sorted by (length, symbol)
+
+	// lut accelerates Decode: indexing the next lutBits bits yields the
+	// symbol and code length directly for codes up to lutBits long;
+	// entries with length 0 fall back to the canonical walk.
+	lut []lutEntry
+}
+
+// lutBits sizes the fast decode table (4096 entries, 24 KiB).
+const lutBits = 12
+
+type lutEntry struct {
+	sym int32
+	len uint8 // 0: code longer than lutBits, use the slow path
+}
+
+type hnode struct {
+	freq        int64
+	sym         int // -1 for internal
+	left, right *hnode
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical Huffman code from symbol frequencies.
+// At least one frequency must be positive.
+func Build(freqs []int64) (*Codec, error) {
+	n := len(freqs)
+	if n == 0 {
+		return nil, errors.New("huffman: empty alphabet")
+	}
+	var h hheap
+	for s, f := range freqs {
+		if f > 0 {
+			h = append(h, &hnode{freq: f, sym: s})
+		}
+	}
+	if len(h) == 0 {
+		return nil, errors.New("huffman: no symbols with positive frequency")
+	}
+	c := &Codec{NumSymbols: n, lengths: make([]uint8, n), codes: make([]uint64, n)}
+	if len(h) == 1 {
+		// Degenerate single-symbol alphabet: one-bit code.
+		c.lengths[h[0].sym] = 1
+	} else {
+		heap.Init(&h)
+		for h.Len() > 1 {
+			a := heap.Pop(&h).(*hnode)
+			b := heap.Pop(&h).(*hnode)
+			heap.Push(&h, &hnode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+		}
+		root := h[0]
+		if err := assignLengths(root, 0, c.lengths); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.buildCanonical(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func assignLengths(n *hnode, depth int, lengths []uint8) error {
+	if n.sym >= 0 {
+		if depth > MaxCodeLen {
+			return fmt.Errorf("huffman: code length %d exceeds limit", depth)
+		}
+		lengths[n.sym] = uint8(depth)
+		return nil
+	}
+	if err := assignLengths(n.left, depth+1, lengths); err != nil {
+		return err
+	}
+	return assignLengths(n.right, depth+1, lengths)
+}
+
+// buildCanonical derives canonical codes and decode tables from
+// c.lengths. It validates the length distribution (Kraft equality is
+// not required — a single-symbol code underfills — but overfull
+// distributions are rejected), which is the integrity check corrupted
+// headers trip over.
+func (c *Codec) buildCanonical() error {
+	maxLen := 0
+	counts := make([]int, MaxCodeLen+1)
+	for _, l := range c.lengths {
+		if int(l) > MaxCodeLen {
+			return ErrCorrupt
+		}
+		if l > 0 {
+			counts[l]++
+			if int(l) > maxLen {
+				maxLen = int(l)
+			}
+		}
+	}
+	if maxLen == 0 {
+		return ErrCorrupt
+	}
+	c.maxLen = maxLen
+	// Kraft sum must not exceed 1 (overfull code is undecodable).
+	var kraft uint64
+	for l := 1; l <= maxLen; l++ {
+		kraft += uint64(counts[l]) << uint(maxLen-l)
+	}
+	if kraft > 1<<uint(maxLen) {
+		return ErrCorrupt
+	}
+	// Symbols sorted by (length, symbol value).
+	used := make([]int32, 0, len(c.lengths))
+	for s, l := range c.lengths {
+		if l > 0 {
+			used = append(used, int32(s))
+		}
+	}
+	sort.Slice(used, func(i, j int) bool {
+		li, lj := c.lengths[used[i]], c.lengths[used[j]]
+		if li != lj {
+			return li < lj
+		}
+		return used[i] < used[j]
+	})
+	c.symsByCode = used
+	c.firstCode = make([]uint64, maxLen+2)
+	c.firstIndex = make([]int, maxLen+2)
+	code := uint64(0)
+	idx := 0
+	for l := 1; l <= maxLen; l++ {
+		c.firstCode[l] = code
+		c.firstIndex[l] = idx
+		code += uint64(counts[l])
+		idx += counts[l]
+		code <<= 1
+	}
+	c.firstIndex[maxLen+1] = idx
+	// Codes within a length are assigned in symsByCode order, so a
+	// single pass with per-length counters covers every symbol.
+	next := make([]uint64, maxLen+1)
+	copy(next, c.firstCode[:maxLen+1])
+	for _, s := range used {
+		l := int(c.lengths[s])
+		c.codes[s] = next[l]
+		next[l]++
+	}
+	c.buildLUT()
+	return nil
+}
+
+// buildLUT fills the fast decode table: every lutBits-wide window
+// whose prefix is the code of symbol s maps to (s, len).
+func (c *Codec) buildLUT() {
+	c.lut = make([]lutEntry, 1<<lutBits)
+	for _, s := range c.symsByCode {
+		l := int(c.lengths[s])
+		if l > lutBits {
+			continue
+		}
+		base := c.codes[s] << uint(lutBits-l)
+		count := 1 << uint(lutBits-l)
+		for i := 0; i < count; i++ {
+			c.lut[base+uint64(i)] = lutEntry{sym: s, len: uint8(l)}
+		}
+	}
+}
+
+// Length returns the code length of symbol s (0 when unused).
+func (c *Codec) Length(s int) int { return int(c.lengths[s]) }
+
+// Encode appends the code for symbol s to w. Encoding a symbol that
+// never appeared in the Build frequencies panics: it indicates a bug
+// in the caller's frequency accounting.
+func (c *Codec) Encode(w *bitio.Writer, s int) {
+	l := c.lengths[s]
+	if l == 0 {
+		panic(fmt.Sprintf("huffman: symbol %d has no code", s))
+	}
+	w.WriteBits(c.codes[s], int(l))
+}
+
+// Decode reads one symbol from r. Invalid codes and truncated streams
+// return ErrCorrupt-wrapped errors.
+func (c *Codec) Decode(r *bitio.Reader) (int, error) {
+	// Fast path: one table lookup when enough bits remain and the code
+	// is short (the overwhelmingly common case for quantization codes).
+	if window, avail := r.Peek(lutBits); avail == lutBits {
+		if e := c.lut[window]; e.len != 0 {
+			_ = r.Skip(int(e.len)) // cannot fail: avail >= len
+			return int(e.sym), nil
+		}
+	}
+	return c.decodeSlow(r)
+}
+
+// decodeSlow is the canonical per-length walk, used near the end of
+// the buffer and for codes longer than lutBits.
+func (c *Codec) decodeSlow(r *bitio.Reader) (int, error) {
+	var code uint64
+	for l := 1; l <= c.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated mid-code", ErrCorrupt)
+		}
+		code = code<<1 | uint64(b)
+		first := c.firstCode[l]
+		count := c.firstIndex[l+1] - c.firstIndex[l]
+		if count > 0 && code >= first && code < first+uint64(count) {
+			return int(c.symsByCode[c.firstIndex[l]+int(code-first)]), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no code matches", ErrCorrupt)
+}
+
+// WriteTable serializes the code table: alphabet size, number of used
+// symbols, then (symbol, length) pairs with 6-bit lengths.
+func (c *Codec) WriteTable(w *bitio.Writer) {
+	w.WriteBits(uint64(c.NumSymbols), 32)
+	w.WriteBits(uint64(len(c.symsByCode)), 32)
+	for _, s := range c.symsByCode {
+		w.WriteBits(uint64(s), 32)
+		w.WriteBits(uint64(c.lengths[s]), 6)
+	}
+}
+
+// maxAlphabet bounds accepted alphabet sizes so corrupted headers
+// cannot drive huge allocations.
+const maxAlphabet = 1 << 26
+
+// ReadTable deserializes a code table written by WriteTable and
+// rebuilds decode state, validating as it goes.
+func ReadTable(r *bitio.Reader) (*Codec, error) {
+	nsym, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
+	}
+	nused, err := r.ReadBits(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
+	}
+	if nsym == 0 || nsym > maxAlphabet || nused > nsym {
+		return nil, fmt.Errorf("%w: implausible table header (nsym=%d nused=%d)", ErrCorrupt, nsym, nused)
+	}
+	c := &Codec{
+		NumSymbols: int(nsym),
+		lengths:    make([]uint8, nsym),
+		codes:      make([]uint64, nsym),
+	}
+	for i := uint64(0); i < nused; i++ {
+		s, err := r.ReadBits(32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated table entry", ErrCorrupt)
+		}
+		l, err := r.ReadBits(6)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated table entry", ErrCorrupt)
+		}
+		if s >= nsym || l == 0 {
+			return nil, fmt.Errorf("%w: bad table entry (sym=%d len=%d)", ErrCorrupt, s, l)
+		}
+		if c.lengths[s] != 0 {
+			return nil, fmt.Errorf("%w: duplicate symbol %d", ErrCorrupt, s)
+		}
+		c.lengths[s] = uint8(l)
+	}
+	if err := c.buildCanonical(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

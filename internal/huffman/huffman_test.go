@@ -1,0 +1,299 @@
+package huffman
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Fatal("empty alphabet must fail")
+	}
+	if _, err := Build([]int64{0, 0, 0}); err == nil {
+		t.Fatal("all-zero frequencies must fail")
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	c, err := Build([]int64{0, 5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	for i := 0; i < 10; i++ {
+		c.Encode(&w, 1)
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i := 0; i < 10; i++ {
+		s, err := c.Decode(r)
+		if err != nil || s != 1 {
+			t.Fatalf("decode %d: %v %v", i, s, err)
+		}
+	}
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	freqs := []int64{1000, 500, 100, 10, 1, 1, 1, 1}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More frequent symbols must not have longer codes.
+	for i := 1; i < len(freqs); i++ {
+		if c.Length(i-1) > c.Length(i) {
+			t.Fatalf("symbol %d (freq %d) has longer code than %d (freq %d)",
+				i-1, freqs[i-1], i, freqs[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(21))
+	syms := make([]int, 5000)
+	for i := range syms {
+		syms[i] = rng.Intn(len(freqs))
+	}
+	var w bitio.Writer
+	for _, s := range syms {
+		c.Encode(&w, s)
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := c.Decode(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("decode %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	freqs := make([]int64, 1000)
+	rng := rand.New(rand.NewSource(22))
+	for i := range freqs {
+		if rng.Intn(3) == 0 {
+			freqs[i] = int64(rng.Intn(10000)) + 1
+		}
+	}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	c.WriteTable(&w)
+	c.Encode(&w, firstUsed(freqs))
+	r := bitio.NewReader(w.Bytes())
+	c2, err := ReadTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NumSymbols != c.NumSymbols {
+		t.Fatal("NumSymbols mismatch")
+	}
+	for s := range freqs {
+		if c.Length(s) != c2.Length(s) {
+			t.Fatalf("symbol %d length mismatch", s)
+		}
+	}
+	got, err := c2.Decode(r)
+	if err != nil || got != firstUsed(freqs) {
+		t.Fatalf("decode after table: %v %v", got, err)
+	}
+}
+
+func firstUsed(freqs []int64) int {
+	for s, f := range freqs {
+		if f > 0 {
+			return s
+		}
+	}
+	return -1
+}
+
+func TestCorruptTableRejected(t *testing.T) {
+	c, err := Build([]int64{5, 3, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	c.WriteTable(&w)
+	clean := w.Bytes()
+	rejected, accepted := 0, 0
+	for bit := 0; bit < len(clean)*8; bit++ {
+		mut := append([]byte(nil), clean...)
+		mut[bit/8] ^= 0x80 >> (bit % 8)
+		if _, err := ReadTable(bitio.NewReader(mut)); err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit %d: non-ErrCorrupt error %v", bit, err)
+			}
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	// Not every flip is detectable (e.g. swapping which symbols map to
+	// which code), but gross corruption must be rejected often.
+	if rejected == 0 {
+		t.Fatal("no corrupted table was ever rejected")
+	}
+	t.Logf("table flips: %d rejected, %d silently accepted", rejected, accepted)
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	c, err := Build([]int64{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w bitio.Writer
+	for i := 0; i < 100; i++ {
+		c.Encode(&w, i%5)
+	}
+	buf := w.Bytes()
+	r := bitio.NewReader(buf[:1])
+	var derr error
+	for i := 0; i < 100; i++ {
+		if _, derr = c.Decode(r); derr != nil {
+			break
+		}
+	}
+	if !errors.Is(derr, ErrCorrupt) {
+		t.Fatalf("truncated stream must yield ErrCorrupt, got %v", derr)
+	}
+}
+
+func TestEncodeUnusedSymbolPanics(t *testing.T) {
+	c, err := Build([]int64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding unused symbol must panic")
+		}
+	}()
+	var w bitio.Writer
+	c.Encode(&w, 1)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		freqs := make([]int64, 256)
+		for _, b := range raw {
+			freqs[b]++
+		}
+		c, err := Build(freqs)
+		if err != nil {
+			return false
+		}
+		var w bitio.Writer
+		c.WriteTable(&w)
+		for _, b := range raw {
+			c.Encode(&w, int(b))
+		}
+		r := bitio.NewReader(w.Bytes())
+		c2, err := ReadTable(r)
+		if err != nil {
+			return false
+		}
+		for _, want := range raw {
+			got, err := c2.Decode(r)
+			if err != nil || got != int(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionBeatsFixedWidth(t *testing.T) {
+	// A heavily skewed source must code in fewer bits than fixed 8-bit.
+	freqs := make([]int64, 256)
+	freqs[0] = 1_000_000
+	for i := 1; i < 256; i++ {
+		freqs[i] = 1
+	}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Length(0) != 1 {
+		t.Fatalf("dominant symbol should get a 1-bit code, got %d", c.Length(0))
+	}
+}
+
+func TestFastAndSlowDecodeAgree(t *testing.T) {
+	// Property: the LUT fast path and the canonical walk decode
+	// identically, including near the end of the buffer.
+	rng := rand.New(rand.NewSource(30))
+	freqs := make([]int64, 300)
+	for i := range freqs {
+		freqs[i] = int64(rng.Intn(1000)) + 1
+	}
+	c, err := Build(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := make([]int, 4000)
+	var w bitio.Writer
+	for i := range syms {
+		syms[i] = rng.Intn(300)
+		c.Encode(&w, syms[i])
+	}
+	buf := w.Bytes()
+	fast := bitio.NewReader(buf)
+	slow := bitio.NewReader(buf)
+	for i, want := range syms {
+		f, ferr := c.Decode(fast)
+		s, serr := c.decodeSlow(slow)
+		if ferr != nil || serr != nil {
+			t.Fatalf("symbol %d: errs %v %v", i, ferr, serr)
+		}
+		if f != want || s != want {
+			t.Fatalf("symbol %d: fast %d slow %d want %d", i, f, s, want)
+		}
+		if fast.Pos() != slow.Pos() {
+			t.Fatalf("symbol %d: positions diverged %d vs %d", i, fast.Pos(), slow.Pos())
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	freqs := make([]int64, 65536)
+	// Zipf-ish skew like real quantization codes.
+	for i := range freqs {
+		freqs[i] = int64(1000000 / (i + 1))
+	}
+	c, err := Build(freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 100000
+	var w bitio.Writer
+	zipf := rand.NewZipf(rng, 1.3, 1, 65535)
+	syms := make([]int, n)
+	for i := range syms {
+		syms[i] = int(zipf.Uint64())
+		c.Encode(&w, syms[i])
+	}
+	buf := w.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(buf)
+		for j := 0; j < n; j++ {
+			if _, err := c.Decode(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(int64(n))
+}

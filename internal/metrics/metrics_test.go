@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSEBasic(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("identical data RMSE = %g", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %g, want sqrt(12.5)", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Fatal("empty RMSE must be 0")
+	}
+}
+
+func TestRMSELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestPSNR(t *testing.T) {
+	orig := []float64{0, 10} // range 10
+	got := []float64{1, 10}  // rmse = 1/sqrt(2)
+	want := 20 * math.Log10(10/(1/math.Sqrt2))
+	if p := PSNR(orig, got); math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR = %g, want %g", p, want)
+	}
+	if p := PSNR(orig, orig); !math.IsInf(p, 1) {
+		t.Fatal("identical data must give +Inf PSNR")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	if got := MaxDiff([]float64{1, 5, 3}, []float64{2, 1, 3}); got != 4 {
+		t.Fatalf("MaxDiff = %g, want 4", got)
+	}
+	if got := MaxDiff([]float64{1}, []float64{math.NaN()}); !math.IsNaN(got) {
+		t.Fatal("NaN difference must propagate")
+	}
+}
+
+func TestCountIncorrect(t *testing.T) {
+	orig := []float64{0, 0, 0, 0}
+	got := []float64{0.05, 0.15, -0.2, math.NaN()}
+	if n := CountIncorrect(orig, got, 0.1); n != 3 {
+		t.Fatalf("CountIncorrect = %d, want 3 (two violations + NaN)", n)
+	}
+	if n := CountIncorrect(orig, orig, 0); n != 0 {
+		t.Fatal("identical data must have 0 incorrect")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	orig := []float64{0, 1, 2, 3}
+	got := []float64{0, 1, 2, 4}
+	s := Evaluate(orig, got, 0.5)
+	if s.N != 4 || s.IncorrectElements != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.PercentIncorrect != 25 {
+		t.Fatalf("percent = %g, want 25", s.PercentIncorrect)
+	}
+	if s.MaxDiff != 1 {
+		t.Fatalf("MaxDiff = %g", s.MaxDiff)
+	}
+	// Negative bound skips incorrect accounting (SZ-PSNR convention).
+	s2 := Evaluate(orig, got, -1)
+	if s2.IncorrectElements != 0 || s2.PercentIncorrect != 0 {
+		t.Fatal("negative bound must skip incorrect-element accounting")
+	}
+}
+
+func TestRange(t *testing.T) {
+	lo, hi := Range([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("Range = (%g, %g)", lo, hi)
+	}
+	lo, hi = Range(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty range must be (0,0)")
+	}
+}
+
+func TestQuickPSNRDecreasesWithNoise(t *testing.T) {
+	prop := func(seed uint8) bool {
+		idx := int(seed) % 100
+		orig := make([]float64, 100)
+		for i := range orig {
+			orig[i] = float64(i)
+		}
+		small := make([]float64, 100)
+		big := make([]float64, 100)
+		copy(small, orig)
+		copy(big, orig)
+		small[idx] += 0.01
+		big[idx] += 1.0
+		return PSNR(orig, small) > PSNR(orig, big)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyBound(t *testing.T) {
+	orig := []float64{0, 1, -2, 1000}
+	okAbs := []float64{0.05, 1.05, -2.05, 1000.05}
+	if i := VerifyBound(orig, okAbs, BoundAbs, 0.1); i != -1 {
+		t.Fatalf("abs ok flagged %d", i)
+	}
+	badAbs := []float64{0, 1, -2, 1000.2}
+	if i := VerifyBound(orig, badAbs, BoundAbs, 0.1); i != 3 {
+		t.Fatalf("abs violation at %d, want 3", i)
+	}
+	okRel := []float64{0, 1.009, -2.01, 1009}
+	if i := VerifyBound(orig, okRel, BoundRel, 0.01); i != -1 {
+		t.Fatalf("rel ok flagged %d", i)
+	}
+	badZero := []float64{0.001, 1, -2, 1000}
+	if i := VerifyBound(orig, badZero, BoundRel, 0.01); i != 0 {
+		t.Fatal("zero must be preserved exactly under rel bounds")
+	}
+	if i := VerifyBound(orig, orig, BoundPSNR, 90); i != -1 {
+		t.Fatal("identical data has infinite PSNR")
+	}
+	noisy := []float64{100, 1, -2, 1000}
+	if i := VerifyBound(orig, noisy, BoundPSNR, 90); i != 0 {
+		t.Fatal("gross noise must fail a 90 dB target")
+	}
+}
+
+func TestVerifyBoundUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind must panic")
+		}
+	}()
+	VerifyBound([]float64{1}, []float64{1}, BoundKind(9), 1)
+}

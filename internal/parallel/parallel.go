@@ -1,0 +1,106 @@
+// Package parallel provides a chunked parallel-for over index ranges
+// with an explicit worker count. It is the repository's stand-in for
+// the OpenMP thread-level parallelism ARC uses: a worker count of w
+// corresponds to running with w OpenMP threads.
+//
+// The split is deterministic — workers own contiguous, near-equal
+// ranges — so encoded output layout never depends on the worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// AnyWorkers requests as many workers as the runtime will schedule
+// (the paper's ARC_ANY_THREADS).
+const AnyWorkers = 0
+
+// Clamp normalizes a requested worker count: AnyWorkers (or anything
+// non-positive) becomes runtime.GOMAXPROCS(0), and counts above n are
+// reduced to n so no worker owns an empty range.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For splits [0, n) into `workers` contiguous ranges and invokes body
+// on each range concurrently. body(lo, hi) must be safe to run in
+// parallel with other ranges. For blocks until all ranges complete.
+//
+// A worker count of 1 (or n <= 1) runs inline with no goroutines, so
+// serial paths pay no synchronization cost.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := chunk
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: the first non-nil error (by
+// range order) is returned after all workers finish. Workers do not
+// cancel each other; ranges are independent by contract.
+func ForErr(n, workers int, body func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		return body(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := n / workers
+	rem := n % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := chunk
+		if w < rem {
+			size++
+		}
+		hi := lo + size
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = body(lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

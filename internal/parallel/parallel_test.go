@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, AnyWorkers} {
+		n := 1000
+		counts := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-5, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for n <= 0")
+	}
+}
+
+func TestForMoreWorkersThanWork(t *testing.T) {
+	var visits int32
+	For(3, 100, func(lo, hi int) {
+		atomic.AddInt32(&visits, int32(hi-lo))
+	})
+	if visits != 3 {
+		t.Fatalf("visited %d indices, want 3", visits)
+	}
+}
+
+func TestForRangesAreContiguous(t *testing.T) {
+	// Property: for any n and workers, the ranges partition [0,n).
+	prop := func(n8, w8 uint8) bool {
+		n := int(n8)
+		w := int(w8)
+		if n == 0 {
+			return true
+		}
+		seen := make([]int32, n)
+		For(n, w, func(lo, hi int) {
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(0, 100) < 1 {
+		t.Fatal("AnyWorkers must clamp to at least 1")
+	}
+	if got := Clamp(50, 10); got != 10 {
+		t.Fatalf("Clamp(50, 10) = %d, want 10", got)
+	}
+	if got := Clamp(-3, 10); got < 1 {
+		t.Fatalf("negative workers must clamp positive, got %d", got)
+	}
+	if got := Clamp(4, 10); got != 4 {
+		t.Fatalf("Clamp(4, 10) = %d, want 4", got)
+	}
+}
+
+func TestForErrReturnsFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForErr(100, 4, func(lo, hi int) error {
+		if lo == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}
+
+func TestForErrNilOnSuccess(t *testing.T) {
+	if err := ForErr(10, 2, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForErr(0, 2, func(lo, hi int) error { return errors.New("x") }); err != nil {
+		t.Fatal("n=0 must not invoke body")
+	}
+}
+
+func TestForErrSerialPath(t *testing.T) {
+	sentinel := errors.New("serial")
+	if err := ForErr(5, 1, func(lo, hi int) error {
+		if lo != 0 || hi != 5 {
+			t.Fatalf("serial path got range [%d,%d)", lo, hi)
+		}
+		return sentinel
+	}); err != sentinel {
+		t.Fatal("serial error not propagated")
+	}
+}

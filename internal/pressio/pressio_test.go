@@ -1,0 +1,156 @@
+package pressio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/metrics"
+)
+
+func TestRegistryAndStudySet(t *testing.T) {
+	set := StudySet()
+	if len(set) != 5 {
+		t.Fatalf("study set has %d configurations, want 5", len(set))
+	}
+	wantNames := map[string]float64{
+		"SZ-ABS": 0.1, "SZ-PWREL": 0.1, "SZ-PSNR": 90, "ZFP-ACC": 0.1, "ZFP-Rate": 8,
+	}
+	for _, c := range set {
+		want, ok := wantNames[c.Name()]
+		if !ok {
+			t.Fatalf("unexpected configuration %q", c.Name())
+		}
+		if c.Bound() != want {
+			t.Fatalf("%s bound %g, want %g", c.Name(), c.Bound(), want)
+		}
+	}
+	for _, n := range Names() {
+		if _, err := New(n, 0.1); err != nil {
+			t.Fatalf("New(%s): %v", n, err)
+		}
+	}
+	if _, err := New("LZ4", 1); err == nil {
+		t.Fatal("unknown compressor must fail")
+	}
+}
+
+func TestAllConfigurationsRoundTrip(t *testing.T) {
+	f := datasets.CESM(32, 32, 5)
+	for _, c := range StudySet() {
+		buf, err := c.Compress(f.Data, f.Dims)
+		if err != nil {
+			t.Fatalf("%s compress: %v", c.Name(), err)
+		}
+		got, dims, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("%s decompress: %v", c.Name(), err)
+		}
+		if len(dims) != len(f.Dims) || dims[0] != f.Dims[0] {
+			t.Fatalf("%s dims %v", c.Name(), dims)
+		}
+		if c.BoundsError() {
+			if n := metrics.CountIncorrect(f.Data, got, c.Bound()*(1+1e-9)); n != 0 {
+				t.Fatalf("%s: %d bound violations on clean round-trip", c.Name(), n)
+			}
+		}
+	}
+}
+
+func TestBoundsErrorFlags(t *testing.T) {
+	flags := map[string]bool{
+		"SZ-ABS": true, "SZ-PWREL": true, "SZ-PSNR": false,
+		"ZFP-ACC": true, "ZFP-Rate": false,
+	}
+	for _, c := range StudySet() {
+		if c.BoundsError() != flags[c.Name()] {
+			t.Fatalf("%s BoundsError = %v", c.Name(), c.BoundsError())
+		}
+	}
+}
+
+func TestWithBound(t *testing.T) {
+	c, err := New("SZ-ABS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := c.WithBound(0.5)
+	if c2.Bound() != 0.5 || c.Bound() != 0.1 {
+		t.Fatal("WithBound must return an adjusted copy")
+	}
+	if c2.Name() != c.Name() {
+		t.Fatal("WithBound must preserve the mode")
+	}
+}
+
+func TestSearchBoundHitsTarget(t *testing.T) {
+	f := datasets.CESM(64, 128, 6)
+	for _, name := range []string{"SZ-ABS", "ZFP-ACC"} {
+		c, err := New(name, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []float64{25, 13} {
+			tuned, achieved, err := SearchBound(c, f.Data, f.Dims, target, 0.15, 40)
+			if err != nil {
+				t.Fatalf("%s target %g: %v", name, target, err)
+			}
+			if math.Abs(achieved-target)/target > 0.3 {
+				t.Fatalf("%s: achieved CR %.1f for target %.0f", name, achieved, target)
+			}
+			if tuned.Name() != name {
+				t.Fatal("tuned compressor changed identity")
+			}
+		}
+	}
+}
+
+func TestSearchBoundZFPRate(t *testing.T) {
+	f := datasets.CESM(32, 64, 7)
+	c, err := New("ZFP-Rate", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, achieved, err := SearchBound(c, f.Data, f.Dims, 8, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Bound() != 8 {
+		t.Fatalf("rate %g, want 8 (64 bits / CR 8)", tuned.Bound())
+	}
+	if achieved < 6 || achieved > 10 {
+		t.Fatalf("achieved CR %g for rate target 8", achieved)
+	}
+	if _, _, err := SearchBound(c, f.Data, f.Dims, 0.5, 0.1, 10); err == nil {
+		t.Fatal("impossible rate target must fail")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	n := Names()
+	if len(n) != 5 {
+		t.Fatalf("names %v", n)
+	}
+	for i := 1; i < len(n); i++ {
+		if n[i-1] >= n[i] {
+			t.Fatal("Names must be sorted and unique")
+		}
+	}
+}
+
+func TestSearchBoundConverges(t *testing.T) {
+	// Even with a tight iteration cap, SearchBound returns its best
+	// attempt rather than failing.
+	f := datasets.CESM(32, 64, 8)
+	c, err := New("SZ-ABS", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, achieved, err := SearchBound(c, f.Data, f.Dims, 20, 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned == nil || achieved <= 0 {
+		t.Fatalf("no best-effort result: %v %g", tuned, achieved)
+	}
+}

@@ -1,0 +1,642 @@
+// Package sz implements a prediction-based, error-bounded lossy
+// compressor modeled on SZ (Di & Cappello, IPDPS'16; Liang et al., Big
+// Data'18), the first of the paper's two compressors under study.
+//
+// The pipeline mirrors SZ's three stages:
+//
+//  1. Lorenzo prediction of each value from previously *reconstructed*
+//     neighbors (1D/2D/3D stencils), so the bound holds end to end.
+//  2. Linear-scale quantization of the prediction residual into integer
+//     codes; residuals outside the quantizer range are stored verbatim
+//     ("unpredictable" values).
+//  3. Entropy coding of the integer codes with a canonical Huffman
+//     coder, followed by a DEFLATE pass standing in for SZ's ZStd
+//     stage. DEFLATE is used raw (no checksum wrapper) because SZ's
+//     ZStd usage does not checksum content either — bit flips must be
+//     able to slip through to reproduce the paper's silent-corruption
+//     behaviour.
+//
+// Three error-bounding modes are provided, matching the study: ABS
+// (uniform absolute bound), PWREL (point-wise relative bound via a
+// log-domain transform), and PSNR (a target peak signal-to-noise
+// ratio converted to an absolute bound from the data range).
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/huffman"
+)
+
+// Mode selects the error-bounding mode.
+type Mode uint8
+
+const (
+	// ModeABS bounds the absolute error of every value by ErrorBound.
+	ModeABS Mode = iota + 1
+	// ModePWREL bounds each value's relative error by ErrorBound.
+	ModePWREL
+	// ModePSNR compresses so the decompressed data retains at least a
+	// target PSNR (ErrorBound is the PSNR in dB).
+	ModePSNR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeABS:
+		return "SZ-ABS"
+	case ModePWREL:
+		return "SZ-PWREL"
+	case ModePSNR:
+		return "SZ-PSNR"
+	default:
+		return fmt.Sprintf("SZ-mode%d", uint8(m))
+	}
+}
+
+// Options configures compression.
+type Options struct {
+	Mode Mode
+	// ErrorBound is interpreted per Mode: absolute bound (ABS),
+	// relative bound (PWREL), or target PSNR in dB (PSNR).
+	ErrorBound float64
+	// Regression enables SZ 2.x's block-wise linear-regression
+	// predictor, selected per 6^d block against Lorenzo (2D/3D only;
+	// 1D always uses Lorenzo).
+	Regression bool
+}
+
+// quantRadius is the half-width of the quantization code alphabet:
+// codes lie in (-quantRadius, +quantRadius), symbol 0 marks an
+// unpredictable value (SZ's default 65536-interval quantizer).
+const quantRadius = 32768
+
+// flagRegression marks streams produced with the mixed
+// regression/Lorenzo predictor.
+const flagRegression = 0x01
+
+const (
+	magic   = "SZG1"
+	version = 2
+	// maxElements caps metadata-driven allocations during decompression
+	// so corrupted headers lead to errors (or slow trials the fault
+	// harness times out) instead of machine-wide OOM.
+	maxElements = 1 << 27
+	maxDim      = 1 << 28
+)
+
+// ErrCorrupt reports an undecodable stream — the "Compressor
+// Exception" outcome of the paper's fault study.
+var ErrCorrupt = errors.New("sz: corrupt stream")
+
+// zeroFloor is the magnitude below which PWREL mode treats a value as
+// exactly zero (log-domain transform cannot represent zero).
+const zeroFloor = 1e-300
+
+// wrapCorrupt formats an ErrCorrupt-wrapped error.
+func wrapCorrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: "+format, append([]interface{}{ErrCorrupt}, args...)...)
+}
+
+// Compress compresses data laid out in row-major order with the given
+// dimensions (1 to 3 dims; product must equal len(data)).
+func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	if opts.ErrorBound <= 0 {
+		return nil, fmt.Errorf("sz: error bound must be positive, got %g", opts.ErrorBound)
+	}
+	useReg := opts.Regression && len(dims) >= 2
+	switch opts.Mode {
+	case ModeABS:
+		return compressABS(data, dims, opts.ErrorBound, ModeABS, opts.ErrorBound, useReg)
+	case ModePSNR:
+		lo, hi := valueRange(data)
+		rng := hi - lo
+		if rng == 0 {
+			rng = 1 // constant field: any bound retains infinite PSNR
+		}
+		// PSNR = 20*log10(range/RMSE); uniform quantization error in
+		// [-eb, eb] has RMSE eb/sqrt(3), so target eb accordingly.
+		eb := rng * math.Pow(10, -opts.ErrorBound/20) * math.Sqrt(3)
+		return compressABS(data, dims, eb, ModePSNR, opts.ErrorBound, useReg)
+	case ModePWREL:
+		return compressPWREL(data, dims, opts.ErrorBound, useReg)
+	default:
+		return nil, fmt.Errorf("sz: unknown mode %d", opts.Mode)
+	}
+}
+
+func checkDims(data []float64, dims []int) error {
+	if len(dims) < 1 || len(dims) > 3 {
+		return fmt.Errorf("sz: want 1-3 dims, got %d", len(dims))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("sz: non-positive dimension %d", d)
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return fmt.Errorf("sz: dims product %d != len(data) %d", n, len(data))
+	}
+	return nil
+}
+
+func valueRange(data []float64) (lo, hi float64) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	lo, hi = data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// quantize runs the prediction + quantization stage, producing the
+// symbol stream (0 = unpredictable, otherwise code+quantRadius) and
+// the unpredictable values in order of appearance.
+func quantize(data []float64, dims []int, eb float64) (syms []int32, unpred []float64) {
+	n := len(data)
+	syms = make([]int32, n)
+	recon := make([]float64, n)
+	pred := newPredictor(dims, recon)
+	twoEB := 2 * eb
+	for i := 0; i < n; i++ {
+		p := pred.predict(i)
+		diff := data[i] - p
+		code := math.Round(diff / twoEB)
+		if math.Abs(code) < quantRadius-1 && !math.IsNaN(code) {
+			r := p + code*twoEB
+			// Guard against floating-point rounding pushing the
+			// reconstruction out of bounds.
+			if math.Abs(r-data[i]) <= eb {
+				syms[i] = int32(code) + quantRadius
+				recon[i] = r
+				continue
+			}
+		}
+		syms[i] = 0
+		unpred = append(unpred, data[i])
+		recon[i] = data[i]
+	}
+	return syms, unpred
+}
+
+// dequantize reverses quantize given the symbol stream and the
+// unpredictable values.
+func dequantize(syms []int32, dims []int, eb float64, unpred []float64) ([]float64, error) {
+	n := len(syms)
+	recon := make([]float64, n)
+	pred := newPredictor(dims, recon)
+	twoEB := 2 * eb
+	ui := 0
+	for i := 0; i < n; i++ {
+		if syms[i] == 0 {
+			if ui >= len(unpred) {
+				return nil, fmt.Errorf("%w: unpredictable pool exhausted", ErrCorrupt)
+			}
+			recon[i] = unpred[ui]
+			ui++
+			continue
+		}
+		code := float64(syms[i] - quantRadius)
+		recon[i] = pred.predict(i) + code*twoEB
+	}
+	return recon, nil
+}
+
+// predictor evaluates the Lorenzo stencil over the reconstruction
+// buffer for 1, 2, or 3 dimensions.
+type predictor struct {
+	dims  []int
+	recon []float64
+	// strides for index arithmetic
+	sy, sz int
+}
+
+func newPredictor(dims []int, recon []float64) *predictor {
+	p := &predictor{dims: dims, recon: recon}
+	switch len(dims) {
+	case 2:
+		p.sy = dims[1] // row-major [d0][d1]: stride of dim0 steps
+	case 3:
+		p.sy = dims[2]
+		p.sz = dims[1] * dims[2]
+	}
+	return p
+}
+
+func (p *predictor) predict(i int) float64 {
+	r := p.recon
+	switch len(p.dims) {
+	case 1:
+		if i == 0 {
+			return 0
+		}
+		return r[i-1]
+	case 2:
+		d1 := p.dims[1]
+		x := i / d1
+		y := i % d1
+		var a, b, c float64 // left, up, up-left
+		if y > 0 {
+			a = r[i-1]
+		}
+		if x > 0 {
+			b = r[i-d1]
+		}
+		if x > 0 && y > 0 {
+			c = r[i-d1-1]
+		}
+		return a + b - c
+	default: // 3D
+		d1, d2 := p.dims[1], p.dims[2]
+		z := i / (d1 * d2)
+		rem := i % (d1 * d2)
+		y := rem / d2
+		x := rem % d2
+		get := func(dz, dy, dx int) float64 {
+			if z-dz < 0 || y-dy < 0 || x-dx < 0 {
+				return 0
+			}
+			return r[i-dz*d1*d2-dy*d2-dx]
+		}
+		return get(0, 0, 1) + get(0, 1, 0) + get(1, 0, 0) -
+			get(0, 1, 1) - get(1, 0, 1) - get(1, 1, 0) +
+			get(1, 1, 1)
+	}
+}
+
+// compressABS implements the core pipeline for an absolute bound; the
+// PSNR mode reuses it with a derived bound.
+func compressABS(data []float64, dims []int, eb float64, mode Mode, param float64, useReg bool) ([]byte, error) {
+	if useReg {
+		mr := quantizeMixed(data, dims, eb)
+		return assemble(mode, param, eb, dims, mr.syms, mr.unpred, nil, 0, mr)
+	}
+	syms, unpred := quantize(data, dims, eb)
+	return assemble(mode, param, eb, dims, syms, unpred, nil, 0, nil)
+}
+
+// compressPWREL implements the point-wise relative mode via SZ's
+// log-domain transform: bounding log2|v| absolutely by log2(1+rel)
+// bounds the relative error of v by rel. Signs and exact zeros travel
+// in a side stream of 2-bit flags.
+func compressPWREL(data []float64, dims []int, rel float64, useReg bool) ([]byte, error) {
+	n := len(data)
+	logs := make([]float64, n)
+	flags := make([]byte, n) // 0: positive, 1: negative, 2: zero
+	minLog := math.Inf(1)
+	for _, v := range data {
+		if a := math.Abs(v); a > zeroFloor {
+			if l := math.Log2(a); l < minLog {
+				minLog = l
+			}
+		}
+	}
+	if math.IsInf(minLog, 1) {
+		minLog = 0 // all zeros
+	}
+	for i, v := range data {
+		a := math.Abs(v)
+		switch {
+		case a <= zeroFloor:
+			flags[i] = 2
+			logs[i] = minLog // benign filler keeps the predictor smooth
+		case v < 0:
+			flags[i] = 1
+			logs[i] = math.Log2(a)
+		default:
+			logs[i] = math.Log2(a)
+		}
+	}
+	eb := math.Log2(1 + rel)
+	if useReg {
+		mr := quantizeMixed(logs, dims, eb)
+		return assemble(ModePWREL, rel, eb, dims, mr.syms, mr.unpred, flags, minLog, mr)
+	}
+	syms, unpred := quantize(logs, dims, eb)
+	return assemble(ModePWREL, rel, eb, dims, syms, unpred, flags, minLog, nil)
+}
+
+// assemble serializes all streams into the final compressed buffer:
+// header, optional regression sections, Huffman table + codes,
+// unpredictable values, optional PWREL flag stream — then the DEFLATE
+// lossless pass over the whole payload. mr is non-nil when the mixed
+// regression/Lorenzo predictor produced the streams.
+func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []float64, flags []byte, minLog float64, mr *mixedResult) ([]byte, error) {
+	var payload bytes.Buffer
+	payload.WriteString(magic)
+	payload.WriteByte(version)
+	payload.WriteByte(byte(mode))
+	var streamFlags byte
+	if mr != nil {
+		streamFlags |= flagRegression
+	}
+	payload.WriteByte(streamFlags)
+	payload.WriteByte(byte(len(dims)))
+	for _, d := range dims {
+		binWrite(&payload, uint32(d))
+	}
+	binWrite(&payload, math.Float64bits(eb))
+	binWrite(&payload, math.Float64bits(param))
+	binWrite(&payload, math.Float64bits(minLog))
+	binWrite(&payload, uint32(len(unpred)))
+	if mr != nil {
+		binWrite(&payload, uint32(len(mr.modes)))
+		var mw bitio.Writer
+		for _, m := range mr.modes {
+			if m {
+				mw.WriteBit(1)
+			} else {
+				mw.WriteBit(0)
+			}
+		}
+		payload.Write(mw.Bytes())
+		binWrite(&payload, uint32(len(mr.qcoeffs)))
+		for _, q := range mr.qcoeffs {
+			binWrite(&payload, uint32(int32(q)))
+		}
+	}
+
+	// Huffman stage over the symbol alphabet actually used.
+	freqs := make([]int64, 2*quantRadius)
+	for _, s := range syms {
+		freqs[s]++
+	}
+	var hw bitio.Writer
+	if len(syms) > 0 {
+		codec, err := huffman.Build(freqs)
+		if err != nil {
+			return nil, err
+		}
+		codec.WriteTable(&hw)
+		for _, s := range syms {
+			codec.Encode(&hw, int(s))
+		}
+	}
+	hb := hw.Bytes()
+	binWrite(&payload, uint32(len(hb)))
+	payload.Write(hb)
+	for _, u := range unpred {
+		binWrite(&payload, math.Float64bits(u))
+	}
+	if mode == ModePWREL {
+		var fw bitio.Writer
+		for _, f := range flags {
+			fw.WriteBits(uint64(f), 2)
+		}
+		payload.Write(fw.Bytes())
+	}
+
+	// Final lossless pass (ZStd stand-in).
+	var out bytes.Buffer
+	out.WriteString(magic)
+	binWrite(&out, uint64(payload.Len()))
+	fw, err := flate.NewWriter(&out, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(payload.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func binWrite(w io.Writer, v interface{}) {
+	// bytes.Buffer writes cannot fail; ignore the error by contract.
+	_ = binary.Write(w, binary.LittleEndian, v)
+}
+
+// Decompress reverses Compress, returning the reconstructed values and
+// dimensions. Any inconsistency in the stream yields an error wrapping
+// ErrCorrupt; wildly corrupted metadata can instead make the call slow
+// (bounded by maxElements), which the fault-injection harness
+// classifies as a timeout, as the paper observed with real SZ.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < len(magic)+8 {
+		return nil, nil, fmt.Errorf("%w: short buffer", ErrCorrupt)
+	}
+	if string(buf[:len(magic)]) != magic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(buf[len(magic):])
+	if payloadLen > uint64(maxElements)*10+(1<<20) {
+		return nil, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
+	}
+	fr := flate.NewReader(bytes.NewReader(buf[len(magic)+8:]))
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(fr, payload); err != nil {
+		return nil, nil, fmt.Errorf("%w: lossless stage: %v", ErrCorrupt, err)
+	}
+	return parsePayload(payload)
+}
+
+func parsePayload(p []byte) ([]float64, []int, error) {
+	rd := &byteReader{buf: p}
+	if string(rd.take(len(magic))) != magic {
+		return nil, nil, fmt.Errorf("%w: bad inner magic", ErrCorrupt)
+	}
+	if v := rd.u8(); v != version {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	mode := Mode(rd.u8())
+	streamFlags := rd.u8()
+	if streamFlags&^flagRegression != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown stream flags %#x", ErrCorrupt, streamFlags)
+	}
+	ndims := int(rd.u8())
+	if rd.err != nil || ndims < 1 || ndims > 3 {
+		return nil, nil, fmt.Errorf("%w: bad ndims", ErrCorrupt)
+	}
+	dims := make([]int, ndims)
+	n := 1
+	for i := range dims {
+		d := int(rd.u32())
+		if d <= 0 || d > maxDim {
+			return nil, nil, fmt.Errorf("%w: bad dimension %d", ErrCorrupt, d)
+		}
+		dims[i] = d
+		n *= d
+		if n > maxElements {
+			return nil, nil, fmt.Errorf("%w: element count overflows cap", ErrCorrupt)
+		}
+	}
+	eb := math.Float64frombits(rd.u64())
+	_ = math.Float64frombits(rd.u64()) // original user parameter, informational
+	minLog := math.Float64frombits(rd.u64())
+	nUnpred := int(rd.u32())
+	var modes []bool
+	var qcoeffs []int64
+	if streamFlags&flagRegression != 0 {
+		nBlocks := int(rd.u32())
+		wantBlocks := newRegGrid(dims).blocks
+		if rd.err != nil || nBlocks != wantBlocks {
+			return nil, nil, fmt.Errorf("%w: block count %d != %d", ErrCorrupt, nBlocks, wantBlocks)
+		}
+		mb := rd.take((nBlocks + 7) / 8)
+		if rd.err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated mode bits", ErrCorrupt)
+		}
+		br := bitio.NewReader(mb)
+		modes = make([]bool, nBlocks)
+		nReg := 0
+		for i := range modes {
+			b, err := br.ReadBit()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: mode bits", ErrCorrupt)
+			}
+			modes[i] = b == 1
+			if modes[i] {
+				nReg++
+			}
+		}
+		nc := int(rd.u32())
+		if rd.err != nil || nc != nReg*(ndims+1) {
+			return nil, nil, fmt.Errorf("%w: coefficient count %d", ErrCorrupt, nc)
+		}
+		qcoeffs = make([]int64, nc)
+		for i := range qcoeffs {
+			qcoeffs[i] = int64(int32(rd.u32()))
+		}
+	}
+	huffLen := int(rd.u32())
+	if rd.err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if nUnpred < 0 || nUnpred > n {
+		return nil, nil, fmt.Errorf("%w: unpredictable count %d out of range", ErrCorrupt, nUnpred)
+	}
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, nil, fmt.Errorf("%w: invalid error bound", ErrCorrupt)
+	}
+	hb := rd.take(huffLen)
+	if rd.err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated huffman section", ErrCorrupt)
+	}
+	syms := make([]int32, n)
+	if n > 0 {
+		br := bitio.NewReader(hb)
+		codec, err := huffman.ReadTable(br)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if codec.NumSymbols != 2*quantRadius {
+			return nil, nil, fmt.Errorf("%w: alphabet size %d", ErrCorrupt, codec.NumSymbols)
+		}
+		for i := 0; i < n; i++ {
+			s, err := codec.Decode(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: symbol %d: %v", ErrCorrupt, i, err)
+			}
+			syms[i] = int32(s)
+		}
+	}
+	unpred := make([]float64, nUnpred)
+	for i := range unpred {
+		unpred[i] = math.Float64frombits(rd.u64())
+	}
+	if rd.err != nil {
+		return nil, nil, fmt.Errorf("%w: truncated unpredictables", ErrCorrupt)
+	}
+	var recon []float64
+	var err error
+	if streamFlags&flagRegression != 0 {
+		recon, err = dequantizeMixed(syms, dims, eb, unpred, modes, qcoeffs)
+	} else {
+		recon, err = dequantize(syms, dims, eb, unpred)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if mode == ModePWREL {
+		flagBytes := rd.take((2*n + 7) / 8)
+		if rd.err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated flag stream", ErrCorrupt)
+		}
+		fr := bitio.NewReader(flagBytes)
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			f, err := fr.ReadBits(2)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: flag stream: %v", ErrCorrupt, err)
+			}
+			switch f {
+			case 2:
+				out[i] = 0
+			case 1:
+				out[i] = -math.Exp2(recon[i])
+			default:
+				out[i] = math.Exp2(recon[i])
+			}
+		}
+		_ = minLog
+		return out, dims, nil
+	}
+	return recon, dims, nil
+}
+
+// byteReader is a bounds-checked little-endian reader that records the
+// first failure rather than panicking, so corrupted streams surface as
+// errors.
+type byteReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *byteReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

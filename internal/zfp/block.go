@@ -1,0 +1,269 @@
+package zfp
+
+// blocker maps between the row-major data array and 4^d blocks,
+// replicating edge values into partial blocks (ZFP's padding scheme)
+// so every block is full.
+type blocker struct {
+	dims      []int // row-major: dims[0] slowest
+	nd        int
+	blockSize int   // 4^nd
+	nBlk      []int // blocks along each dim
+	numBlocks int
+	perm      []int // sequency-order permutation of block-local indices
+}
+
+func newBlocker(dims []int) *blocker {
+	b := &blocker{dims: dims, nd: len(dims)}
+	b.blockSize = 1
+	for i := 0; i < b.nd; i++ {
+		b.blockSize *= 4
+	}
+	b.nBlk = make([]int, b.nd)
+	b.numBlocks = 1
+	for i, d := range dims {
+		b.nBlk[i] = (d + 3) / 4
+		b.numBlocks *= b.nBlk[i]
+	}
+	b.perm = sequencyPerm(b.nd)
+	return b
+}
+
+// freqWeight orders block-local per-axis offsets by frequency after the
+// two-level S-transform: slot 0 holds the DC average, slot 1 the
+// level-2 detail, slots 2-3 the level-1 details.
+var freqWeight = [4]int{0, 1, 2, 2}
+
+// sequencyPerm returns block-local linear indices sorted by total
+// frequency (low first), ZFP's "total sequency" coefficient order.
+func sequencyPerm(nd int) []int {
+	size := 1
+	for i := 0; i < nd; i++ {
+		size *= 4
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	weight := func(i int) int {
+		w := 0
+		for d := 0; d < nd; d++ {
+			w += freqWeight[i&3]
+			i >>= 2
+		}
+		return w
+	}
+	// Insertion sort by (weight, index): size <= 64, stability matters
+	// only for determinism.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if weight(a) > weight(b) || (weight(a) == weight(b) && a > b) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// blockCoords decomposes block index b into per-dim block coordinates
+// (slowest dim first).
+func (bl *blocker) blockCoords(b int) [3]int {
+	var c [3]int
+	for i := bl.nd - 1; i >= 0; i-- {
+		c[i] = b % bl.nBlk[i]
+		b /= bl.nBlk[i]
+	}
+	return c
+}
+
+// gather copies block b of data into dst (length blockSize), clamping
+// out-of-range coordinates to the array edge.
+func (bl *blocker) gather(data []float64, b int, dst []float64) {
+	bc := bl.blockCoords(b)
+	switch bl.nd {
+	case 1:
+		d0 := bl.dims[0]
+		for i := 0; i < 4; i++ {
+			x := clamp(bc[0]*4+i, d0)
+			dst[i] = data[x]
+		}
+	case 2:
+		d0, d1 := bl.dims[0], bl.dims[1]
+		for i := 0; i < 4; i++ {
+			x0 := clamp(bc[0]*4+i, d0)
+			for j := 0; j < 4; j++ {
+				x1 := clamp(bc[1]*4+j, d1)
+				dst[i*4+j] = data[x0*d1+x1]
+			}
+		}
+	default:
+		d0, d1, d2 := bl.dims[0], bl.dims[1], bl.dims[2]
+		for i := 0; i < 4; i++ {
+			x0 := clamp(bc[0]*4+i, d0)
+			for j := 0; j < 4; j++ {
+				x1 := clamp(bc[1]*4+j, d1)
+				for k := 0; k < 4; k++ {
+					x2 := clamp(bc[2]*4+k, d2)
+					dst[(i*4+j)*4+k] = data[(x0*d1+x1)*d2+x2]
+				}
+			}
+		}
+	}
+}
+
+// scatter writes block b back into out, skipping padded positions.
+func (bl *blocker) scatter(out []float64, b int, src []float64) {
+	bc := bl.blockCoords(b)
+	switch bl.nd {
+	case 1:
+		d0 := bl.dims[0]
+		for i := 0; i < 4; i++ {
+			if x := bc[0]*4 + i; x < d0 {
+				out[x] = src[i]
+			}
+		}
+	case 2:
+		d0, d1 := bl.dims[0], bl.dims[1]
+		for i := 0; i < 4; i++ {
+			x0 := bc[0]*4 + i
+			if x0 >= d0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				if x1 := bc[1]*4 + j; x1 < d1 {
+					out[x0*d1+x1] = src[i*4+j]
+				}
+			}
+		}
+	default:
+		d0, d1, d2 := bl.dims[0], bl.dims[1], bl.dims[2]
+		for i := 0; i < 4; i++ {
+			x0 := bc[0]*4 + i
+			if x0 >= d0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				x1 := bc[1]*4 + j
+				if x1 >= d1 {
+					continue
+				}
+				for k := 0; k < 4; k++ {
+					if x2 := bc[2]*4 + k; x2 < d2 {
+						out[(x0*d1+x1)*d2+x2] = src[(i*4+j)*4+k]
+					}
+				}
+			}
+		}
+	}
+}
+
+func clamp(x, n int) int {
+	if x >= n {
+		return n - 1
+	}
+	return x
+}
+
+// fwdLift applies the exactly invertible two-level S-transform to the
+// 4-vector at p[0], p[s], p[2s], p[3s]:
+//
+//	level 1: (x0,x1) -> (l0,h0), (x2,x3) -> (l1,h1)
+//	level 2: (l0,l1) -> (ll,hl)
+//	output slots: [ll, hl, h0, h1]
+func fwdLift(p []int64, s int) {
+	x0, x1, x2, x3 := p[0], p[s], p[2*s], p[3*s]
+	l0, h0 := sFwd(x0, x1)
+	l1, h1 := sFwd(x2, x3)
+	ll, hl := sFwd(l0, l1)
+	p[0], p[s], p[2*s], p[3*s] = ll, hl, h0, h1
+}
+
+// invLift inverts fwdLift.
+func invLift(p []int64, s int) {
+	ll, hl, h0, h1 := p[0], p[s], p[2*s], p[3*s]
+	l0, l1 := sInv(ll, hl)
+	x0, x1 := sInv(l0, h0)
+	x2, x3 := sInv(l1, h1)
+	p[0], p[s], p[2*s], p[3*s] = x0, x1, x2, x3
+}
+
+// sFwd is the exact integer S-transform: l = floor((a+b)/2), h = a-b.
+func sFwd(a, b int64) (l, h int64) {
+	return (a + b) >> 1, a - b
+}
+
+// sInv inverts sFwd: a = l + (h + (h&1))/2, b = a - h.
+func sInv(l, h int64) (a, b int64) {
+	a = l + ((h + (h & 1)) >> 1)
+	return a, a - h
+}
+
+// fwdXform decorrelates a full block in place, lifting along each axis.
+func fwdXform(c []int64, nd int) {
+	switch nd {
+	case 1:
+		fwdLift(c, 1)
+	case 2:
+		for y := 0; y < 4; y++ { // along x (fastest axis)
+			fwdLift(c[y*4:], 1)
+		}
+		for x := 0; x < 4; x++ { // along y
+			fwdLift(c[x:], 4)
+		}
+	default:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(c[(z*4+y)*4:], 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(c[z*16+x:], 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(c[y*4+x:], 16)
+			}
+		}
+	}
+}
+
+// invXform inverts fwdXform (axes in reverse order).
+func invXform(c []int64, nd int) {
+	switch nd {
+	case 1:
+		invLift(c, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(c[x:], 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(c[y*4:], 1)
+		}
+	default:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(c[y*4+x:], 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(c[z*16+x:], 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(c[(z*4+y)*4:], 1)
+			}
+		}
+	}
+}
+
+// negabinary mask for signed<->unsigned mapping (ZFP's int2uint).
+const nbMask = 0xaaaaaaaaaaaaaaaa
+
+func int2uint(x int64) uint64 { return (uint64(x) + nbMask) ^ nbMask }
+func uint2int(x uint64) int64 { return int64((x ^ nbMask) - nbMask) }

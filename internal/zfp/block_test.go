@@ -1,0 +1,104 @@
+package zfp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBlockerShapes(t *testing.T) {
+	cases := []struct {
+		dims      []int
+		blockSize int
+		numBlocks int
+	}{
+		{[]int{4}, 4, 1},
+		{[]int{5}, 4, 2},
+		{[]int{8, 8}, 16, 4},
+		{[]int{9, 7}, 16, 3 * 2},
+		{[]int{4, 4, 4}, 64, 1},
+		{[]int{5, 9, 13}, 64, 2 * 3 * 4},
+	}
+	for _, c := range cases {
+		bl := newBlocker(c.dims)
+		if bl.blockSize != c.blockSize || bl.numBlocks != c.numBlocks {
+			t.Fatalf("dims %v: got %d/%d, want %d/%d",
+				c.dims, bl.blockSize, bl.numBlocks, c.blockSize, c.numBlocks)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, dims := range [][]int{{7}, {9, 5}, {5, 6, 7}} {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		bl := newBlocker(dims)
+		out := make([]float64, n)
+		buf := make([]float64, bl.blockSize)
+		for b := 0; b < bl.numBlocks; b++ {
+			bl.gather(data, b, buf)
+			bl.scatter(out, b, buf)
+		}
+		for i := range data {
+			if out[i] != data[i] {
+				t.Fatalf("dims %v: gather/scatter mismatch at %d", dims, i)
+			}
+		}
+	}
+}
+
+func TestGatherClampsPadding(t *testing.T) {
+	// A 5-wide 1D array: block 1 covers indices 4..7, clamped to 4.
+	data := []float64{10, 20, 30, 40, 50}
+	bl := newBlocker([]int{5})
+	buf := make([]float64, 4)
+	bl.gather(data, 1, buf)
+	for i, want := range []float64{50, 50, 50, 50} {
+		if buf[i] != want {
+			t.Fatalf("padding[%d] = %g, want %g (edge replication)", i, buf[i], want)
+		}
+	}
+}
+
+func TestScatterSkipsPadding(t *testing.T) {
+	data := make([]float64, 5)
+	bl := newBlocker([]int{5})
+	buf := []float64{1, 2, 3, 4}
+	bl.scatter(data, 1, buf)
+	if data[4] != 1 {
+		t.Fatalf("in-range cell not written: %v", data)
+	}
+	// Nothing beyond index 4 exists; no panic is the assertion.
+}
+
+func TestBlockCoords(t *testing.T) {
+	bl := newBlocker([]int{9, 7}) // 3 x 2 blocks
+	c := bl.blockCoords(0)
+	if c[0] != 0 || c[1] != 0 {
+		t.Fatalf("block 0 coords %v", c)
+	}
+	c = bl.blockCoords(5) // last block: row 2, col 1
+	if c[0] != 2 || c[1] != 1 {
+		t.Fatalf("block 5 coords %v", c)
+	}
+}
+
+func TestFreqWeightOrdering(t *testing.T) {
+	// After the two-level S-transform, slot 0 is the DC average and
+	// slots 2-3 the finest details; the sequency order must reflect it.
+	p := sequencyPerm(2)
+	// The all-DC position (0,0) -> linear 0 must come first; the
+	// all-high position (3,3) -> linear 15 must come last.
+	if p[0] != 0 {
+		t.Fatalf("first coefficient %d, want 0", p[0])
+	}
+	if p[len(p)-1] != 15 {
+		t.Fatalf("last coefficient %d, want 15", p[len(p)-1])
+	}
+}

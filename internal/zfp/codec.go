@@ -1,0 +1,290 @@
+package zfp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitio"
+)
+
+// blockBits returns the exact bit budget of one fixed-rate block.
+func blockBits(rate float64, size int) int {
+	return int(math.Round(rate * float64(size)))
+}
+
+// minRate is the smallest fixed rate that can hold a block header
+// (nonzero flag + exponent) plus one plane bit; lower rates would
+// emit blocks larger than their own fixed budget, which cannot be
+// decoded. Compress validates against it.
+func minRate(size int) float64 {
+	return float64(2+expBits) / float64(size)
+}
+
+// kminFor computes the lowest bit plane a variable-length mode must
+// keep. For accuracy mode, bit k of a coefficient carries weight
+// 2^(k-fixedPointBits+emax), and truncation below the tolerance (with
+// a safety margin for inverse transform growth) is allowed. For
+// precision mode, exactly Param planes from the top are kept.
+func kminFor(opts Options, emax int) int {
+	var k int
+	switch opts.Mode {
+	case ModePrecision:
+		k = intPrec - int(opts.Param)
+	default: // ModeAccuracy
+		// 2^(kmin - fixedPointBits + emax) <= tol / 2^accMargin
+		k = int(math.Floor(math.Log2(opts.Param))) + fixedPointBits - emax - accMargin
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > intPrec {
+		k = intPrec
+	}
+	return k
+}
+
+// blockExp returns the max binary exponent over the block per
+// math.Frexp (value magnitude < 2^e), and whether any value is
+// nonzero.
+func blockExp(vals []float64) (int, bool) {
+	e := math.MinInt32
+	nonzero := false
+	for _, v := range vals {
+		if v == 0 {
+			continue
+		}
+		nonzero = true
+		_, ve := math.Frexp(v)
+		if ve > e {
+			e = ve
+		}
+	}
+	return e, nonzero
+}
+
+// encodeBlock writes one block. coeffs is scratch of length blockSize.
+func encodeBlock(w *bitio.Writer, vals []float64, coeffs []int64, bl *blocker, opts Options) {
+	size := bl.blockSize
+	rateMode := opts.Mode == ModeRate
+	var budget int
+	if rateMode {
+		budget = blockBits(opts.Param, size)
+	} else {
+		budget = 1 + expBits + intPrec*size // effectively unlimited
+	}
+	start := w.Len()
+
+	emax, nonzero := blockExp(vals)
+	biased := emax + expBias
+	if biased < 1 || biased > 2*expBias {
+		nonzero = false // beyond double range: treat as zero block
+	}
+	if !nonzero {
+		w.WriteBit(0)
+	} else {
+		w.WriteBit(1)
+		w.WriteBits(uint64(biased), expBits)
+		scale := math.Ldexp(1, fixedPointBits-emax)
+		for i, v := range vals {
+			coeffs[i] = int64(v * scale)
+		}
+		fwdXform(coeffs, bl.nd)
+		// Reorder to sequency order and map to negabinary.
+		u := make([]uint64, size)
+		for i, p := range bl.perm {
+			u[i] = int2uint(coeffs[p])
+		}
+		kmin := 0
+		if !rateMode {
+			kmin = kminFor(opts, emax)
+		}
+		encodePlanes(w, u, size, kmin, budget-1-expBits)
+	}
+	if rateMode {
+		// Pad to the exact fixed size.
+		for w.Len()-start < budget {
+			w.WriteBit(0)
+		}
+	}
+}
+
+// encodePlanes implements ZFP's embedded group-testing coder: for each
+// bit plane from MSB down, the first n bits (coefficients already
+// significant) are written verbatim and the remainder is unary
+// run-length coded. n grows monotonically as coefficients become
+// significant.
+func encodePlanes(w *bitio.Writer, u []uint64, size, kmin, bits int) {
+	n := 0
+	for k := intPrec - 1; k >= kmin && bits > 0; k-- {
+		// Gather plane k: bit i of x = bit k of coefficient i.
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= (u[i] >> uint(k) & 1) << uint(i)
+		}
+		// Step 2: first n bits verbatim (LSB of x first).
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		for i := 0; i < m; i++ {
+			w.WriteBit(uint(x))
+			x >>= 1
+		}
+		// Step 3: unary run-length encode the remainder. Bit 0 of x is
+		// position n. Each outer iteration emits a group-test bit
+		// ("any 1s left in this plane?"); a positive test is followed
+		// by the run of bits up to and including the next 1 — except
+		// that a 1 in the final position is implied, not written.
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			hit := false
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b == 1 {
+					hit = true
+					break
+				}
+				x >>= 1
+				n++
+			}
+			// Consume the position that held (or implies) the 1. When
+			// bits ran out mid-run with positions left, this consumes
+			// one position silently; the decoder mirrors that.
+			_ = hit
+			x >>= 1
+			n++
+		}
+	}
+}
+
+// decodeBlock reads one block into vals.
+func decodeBlock(r *bitio.Reader, vals []float64, coeffs []int64, bl *blocker, opts Options) error {
+	size := bl.blockSize
+	rateMode := opts.Mode == ModeRate
+	var budget int
+	if rateMode {
+		budget = blockBits(opts.Param, size)
+	} else {
+		budget = 1 + expBits + intPrec*size
+	}
+	start := r.Pos()
+
+	flag, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("%w: truncated block flag", ErrCorrupt)
+	}
+	if flag == 0 {
+		for i := range vals {
+			vals[i] = 0
+		}
+	} else {
+		biasedU, err := r.ReadBits(expBits)
+		if err != nil {
+			return fmt.Errorf("%w: truncated exponent", ErrCorrupt)
+		}
+		emax := int(biasedU) - expBias
+		kmin := 0
+		if !rateMode {
+			kmin = kminFor(opts, emax)
+		}
+		u := make([]uint64, size)
+		maxPlanes := 0
+		if rateMode {
+			maxPlanes = opts.maxDecodePlanes
+		}
+		if err := decodePlanes(r, u, size, kmin, budget-1-expBits, maxPlanes); err != nil {
+			return err
+		}
+		for i, p := range bl.perm {
+			coeffs[p] = uint2int(u[i])
+		}
+		invXform(coeffs, bl.nd)
+		scale := math.Ldexp(1, emax-fixedPointBits)
+		for i := range vals {
+			vals[i] = float64(coeffs[i]) * scale
+		}
+	}
+	if rateMode {
+		consumed := r.Pos() - start
+		if consumed > budget {
+			return fmt.Errorf("%w: block overran its budget", ErrCorrupt)
+		}
+		if err := r.Skip(budget - consumed); err != nil {
+			return fmt.Errorf("%w: truncated block padding", ErrCorrupt)
+		}
+	}
+	return nil
+}
+
+// decodePlanes mirrors encodePlanes exactly. maxPlanes > 0 stops the
+// consumption early (progressive decode); the caller skips the block's
+// remaining budget, which is only sound for fixed-rate blocks.
+func decodePlanes(r *bitio.Reader, u []uint64, size, kmin, bits, maxPlanes int) error {
+	n := 0
+	for k := intPrec - 1; k >= kmin && bits > 0; k-- {
+		if maxPlanes > 0 && intPrec-k > maxPlanes {
+			break
+		}
+		m := n
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		var x uint64
+		for i := 0; i < m; i++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return fmt.Errorf("%w: truncated plane", ErrCorrupt)
+			}
+			x |= uint64(b) << uint(i)
+		}
+		for n < size && bits > 0 {
+			bits--
+			g, err := r.ReadBit()
+			if err != nil {
+				return fmt.Errorf("%w: truncated group bit", ErrCorrupt)
+			}
+			if g == 0 {
+				break
+			}
+			hit := false
+			for n < size-1 && bits > 0 {
+				bits--
+				b, err := r.ReadBit()
+				if err != nil {
+					return fmt.Errorf("%w: truncated run", ErrCorrupt)
+				}
+				if b == 1 {
+					hit = true
+					break
+				}
+				n++
+			}
+			switch {
+			case hit:
+				// Explicit 1 at position n.
+				x |= 1 << uint(n)
+			case n == size-1:
+				// The group test guaranteed a 1 remains and only the
+				// final position is left: the 1 is implied.
+				x |= 1 << uint(n)
+			default:
+				// Bits exhausted mid-run: the encoder consumed this
+				// position without confirming it; leave it zero.
+			}
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			u[i] |= (x & 1) << uint(k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package zfp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestParallelRateMatchesSerial(t *testing.T) {
+	data, dims := smooth2D(96, 96, 60)
+	for _, rate := range []float64{1, 2, 4, 7, 8, 12, 16} {
+		serial, err := Compress(data, dims, Options{Mode: ModeRate, Param: rate})
+		if err != nil {
+			t.Fatalf("rate=%g: %v", rate, err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			par, err := Compress(data, dims, Options{Mode: ModeRate, Param: rate, Workers: w})
+			if err != nil {
+				t.Fatalf("rate=%g workers=%d: %v", rate, w, err)
+			}
+			if !bytes.Equal(serial, par) {
+				t.Fatalf("rate=%g workers=%d: parallel encoding differs", rate, w)
+			}
+		}
+	}
+}
+
+func TestParallelRateDecode(t *testing.T) {
+	data, dims := smooth2D(64, 64, 61)
+	buf, err := Compress(data, dims, Options{Mode: ModeRate, Param: 16, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel decode needs the Workers option at decompression time;
+	// build opts through the internal path.
+	bl := newBlocker(dims)
+	out := make([]float64, len(data))
+	headerLen := len(magic) + 3 + 4*len(dims) + 8
+	if err := decodeRateParallel(buf[headerLen:], out, bl, Options{Mode: ModeRate, Param: 16, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if out[i] != serial[i] {
+			t.Fatalf("parallel decode differs at %d", i)
+		}
+	}
+}
+
+func TestRateGroupAlignment(t *testing.T) {
+	for _, rate := range []float64{1, 2, 3, 4, 5, 7, 8, 11, 16} {
+		size := 16 // 2D block
+		bb := blockBits(rate, size)
+		g := rateGroup(Options{Mode: ModeRate, Param: rate}, size)
+		if (g*bb)%8 != 0 {
+			t.Fatalf("rate=%g: group of %d blocks (%d bits) not byte aligned", rate, g, g*bb)
+		}
+	}
+}
+
+func TestParallelAccuracyStaysSerial(t *testing.T) {
+	// Variable-length modes cannot parallelize over blocks; Workers
+	// must be silently ignored and results identical.
+	data, dims := smooth2D(32, 32, 62)
+	a, err := Compress(data, dims, Options{Mode: ModeAccuracy, Param: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compress(data, dims, Options{Mode: ModeAccuracy, Param: 0.01, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("accuracy mode must not depend on Workers")
+	}
+	got, _, err := Decompress(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(got[i]-data[i]) > 0.01 {
+			t.Fatal("bound violated")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package zfp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPrecisionModeRoundTrip(t *testing.T) {
+	data, dims := smooth2D(48, 48, 50)
+	for _, prec := range []float64{16, 32, 52} {
+		buf, err := Compress(data, dims, Options{Mode: ModePrecision, Param: prec})
+		if err != nil {
+			t.Fatalf("prec=%g: %v", prec, err)
+		}
+		got, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("prec=%g: %v", prec, err)
+		}
+		// With prec planes kept, the worst-case coefficient error is
+		// ~2^(emax + (intPrec-prec) - fixedPointBits); at 52 planes the
+		// reconstruction is essentially exact for these magnitudes.
+		var worst float64
+		for i := range data {
+			if d := math.Abs(got[i] - data[i]); d > worst {
+				worst = d
+			}
+		}
+		if prec == 52 && worst > 1e-9 {
+			t.Fatalf("52 planes should be near-exact, worst %g", worst)
+		}
+		if prec == 16 && worst > 1 {
+			t.Fatalf("16 planes wildly off: %g", worst)
+		}
+	}
+}
+
+func TestPrecisionMonotone(t *testing.T) {
+	// More precision -> smaller error and larger stream.
+	data, dims := smooth2D(32, 32, 51)
+	var prevErr float64 = -1
+	var prevLen int
+	for _, prec := range []float64{8, 16, 32, 48} {
+		buf, err := Compress(data, dims, Options{Mode: ModePrecision, Param: prec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Decompress(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for i := range data {
+			if d := math.Abs(got[i] - data[i]); d > worst {
+				worst = d
+			}
+		}
+		if prevErr >= 0 {
+			if worst > prevErr*1.001 {
+				t.Fatalf("prec=%g: error %g grew from %g", prec, worst, prevErr)
+			}
+			if len(buf) < prevLen {
+				t.Fatalf("prec=%g: stream shrank", prec)
+			}
+		}
+		prevErr, prevLen = worst, len(buf)
+	}
+}
+
+func TestPrecisionValidation(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	if _, err := Compress(data, []int{4}, Options{Mode: ModePrecision, Param: 0}); err == nil {
+		t.Fatal("precision 0 must fail")
+	}
+	if _, err := Compress(data, []int{4}, Options{Mode: ModePrecision, Param: 65}); err == nil {
+		t.Fatal("precision 65 must fail")
+	}
+	if _, err := Compress(data, []int{4}, Options{Mode: ModePrecision, Param: 8.5}); err == nil {
+		t.Fatal("fractional precision must fail")
+	}
+	if ModePrecision.String() != "ZFP-Prec" {
+		t.Fatal("mode name")
+	}
+}
+
+func TestProgressiveDecode(t *testing.T) {
+	data, dims := smooth2D(48, 48, 70)
+	buf, err := Compress(data, dims, Options{Mode: ModeRate, Param: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstAt := map[int]float64{}
+	for _, planes := range []int{4, 16, 0} { // 0 = everything
+		got, gotDims, err := DecompressProgressive(buf, planes, 1)
+		if err != nil {
+			t.Fatalf("planes=%d: %v", planes, err)
+		}
+		if gotDims[0] != 48 {
+			t.Fatalf("dims %v", gotDims)
+		}
+		var worst float64
+		for i := range full {
+			if d := math.Abs(got[i] - full[i]); d > worst {
+				worst = d
+			}
+		}
+		worstAt[planes] = worst
+	}
+	if worstAt[0] != 0 {
+		t.Fatalf("full progressive decode must match Decompress, worst %g", worstAt[0])
+	}
+	// Negabinary truncation error is not strictly monotone per plane,
+	// but over a wide gap more planes must mean (much) less error.
+	if worstAt[16] >= worstAt[4]/2 {
+		t.Fatalf("16 planes (err %g) should beat 4 planes (err %g) decisively",
+			worstAt[16], worstAt[4])
+	}
+	if worstAt[4] == 0 {
+		t.Fatal("4-plane decode should differ from full precision")
+	}
+}
+
+func TestProgressiveRejectsVariableLengthModes(t *testing.T) {
+	data, dims := smooth2D(16, 16, 71)
+	buf, err := Compress(data, dims, Options{Mode: ModeAccuracy, Param: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressProgressive(buf, 8, 1); err == nil {
+		t.Fatal("progressive decode of an accuracy stream must fail")
+	}
+	// maxPlanes <= 0 is a plain decode and works for any mode.
+	if _, _, err := DecompressProgressive(buf, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateTooLowForBlockHeaderRejected(t *testing.T) {
+	// 1D blocks hold 4 values; rate 1 gives 4 bits per block, below
+	// the 13-bit block header — an undecodable stream if allowed.
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := Compress(data, []int{8}, Options{Mode: ModeRate, Param: 1}); err == nil {
+		t.Fatal("1D rate 1 must be rejected")
+	}
+	// Rate 4 (16 bits/block) is fine in 1D.
+	buf, err := Compress(data, []int{8}, Options{Mode: ModeRate, Param: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(buf); err != nil {
+		t.Fatal(err)
+	}
+	// 2D rate 1 stays legal (16 bits per 16-value block).
+	d2 := make([]float64, 16)
+	if _, err := Compress(d2, []int{4, 4}, Options{Mode: ModeRate, Param: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package arc
+
+// Streaming API: protect byte streams of any length through the
+// standard io.Writer / io.Reader interfaces. The stream is a sequence
+// of independent self-describing chunks, so damage in one chunk never
+// prevents later chunks from decoding, and a reader needs nothing but
+// the stream itself.
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// StreamReport aggregates repair statistics over a streamed decode.
+type StreamReport = core.Report
+
+// Writer is a streaming ARC encoder. Bytes written are buffered into
+// chunks, each protected with the configuration chosen at creation,
+// and emitted to the underlying writer. Close flushes the final chunk.
+type Writer struct {
+	cw *core.ChunkWriter
+}
+
+// NewWriter creates a streaming encoder over w under the usual three
+// constraints. chunkSize <= 0 selects the 4 MiB default.
+func (a *ARC) NewWriter(w io.Writer, mem, bw float64, res Resiliency, chunkSize int) (*Writer, error) {
+	cw, err := a.eng.NewChunkWriter(w, mem, bw, res, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{cw: cw}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) { return w.cw.Write(p) }
+
+// Close flushes the final chunk. It does not close the underlying
+// writer.
+func (w *Writer) Close() error { return w.cw.Close() }
+
+// Choice returns the configuration the stream encodes with.
+func (w *Writer) Choice() Choice { return w.cw.Choice() }
+
+// BytesWritten returns the number of encoded bytes emitted so far.
+func (w *Writer) BytesWritten() int64 { return w.cw.BytesWritten() }
+
+// Reader is a streaming ARC decoder: it verifies and repairs each
+// chunk as it is consumed. Read returns an error as soon as a chunk
+// with uncorrectable damage is reached; everything before it has been
+// delivered intact.
+type Reader struct {
+	cr *core.ChunkReader
+}
+
+// NewReader creates a streaming decoder over r. workers bounds the
+// per-chunk decode parallelism (AnyThreads = all CPUs).
+func NewReader(r io.Reader, workers int) *Reader {
+	return &Reader{cr: core.NewChunkReader(r, workers)}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) { return r.cr.Read(p) }
+
+// Report returns the accumulated repair statistics.
+func (r *Reader) Report() StreamReport { return r.cr.Report() }
+
+// ChunkInfo summarizes one container of an ARC stream.
+type ChunkInfo = core.ChunkInfo
+
+// InspectStream parses an ARC stream's chunk headers without decoding
+// payloads — cheap metadata access for tooling.
+func InspectStream(r io.Reader) ([]ChunkInfo, error) {
+	return core.InspectStream(r)
+}
