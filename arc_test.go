@@ -15,7 +15,11 @@ func initTest(t *testing.T, threads int) *ARC {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
 	return a
 }
 

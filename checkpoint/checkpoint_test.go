@@ -18,7 +18,11 @@ func testARC(t *testing.T) *arc.ARC {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Close() })
+	t.Cleanup(func() {
+		if err := a.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
 	return a
 }
 
@@ -130,8 +134,8 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.Write([]byte("random protected bytes")) //nolint:errcheck
-	w.Close()                                 //nolint:errcheck
+	_, _ = w.Write([]byte("random protected bytes"))
+	_ = w.Close()
 	if _, _, _, err := Load(bytes.NewReader(buf.Bytes()), 1); !errors.Is(err, ErrFormat) {
 		t.Fatalf("want ErrFormat, got %v", err)
 	}

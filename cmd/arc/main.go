@@ -66,7 +66,7 @@ func cmdEncode(args []string) error {
 	errPerMB := fs.Float64("errors-per-mb", 0, "expected soft errors per MB to correct")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
 	chunkKB := fs.Int("chunk-kb", 0, "stream in chunks of this many KiB (0 = single container)")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 
 	if *in == "" || *out == "" {
 		return errors.New("encode: -in and -out are required")
@@ -124,7 +124,7 @@ func cmdDecode(args []string) error {
 	in := fs.String("in", "", "input file")
 	out := fs.String("out", "", "output file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" || *out == "" {
 		return errors.New("decode: -in and -out are required")
 	}
@@ -147,7 +147,7 @@ func cmdDecode(args []string) error {
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	in := fs.String("in", "", "input file")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" {
 		return errors.New("inspect: -in is required")
 	}
@@ -193,7 +193,7 @@ func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "input file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" {
 		return errors.New("verify: -in is required")
 	}

@@ -13,9 +13,11 @@ func TestMain(m *testing.M) {
 	if err != nil {
 		panic(err)
 	}
-	os.Setenv("ARC_CACHE_DIR", dir)
+	if err := os.Setenv("ARC_CACHE_DIR", dir); err != nil {
+		panic(err)
+	}
 	code := m.Run()
-	os.RemoveAll(dir)
+	_ = os.RemoveAll(dir) // best-effort temp-dir cleanup
 	os.Exit(code)
 }
 
@@ -128,7 +130,9 @@ func TestUncorrectableDamageReported(t *testing.T) {
 	}
 	buf, _ := os.ReadFile(enc)
 	buf[len(buf)/2] ^= 0x01
-	os.WriteFile(enc, buf, 0o644) //nolint:errcheck
+	if err := os.WriteFile(enc, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	err := cmdDecode([]string{"-in", enc, "-out", out, "-threads", "1"})
 	if err == nil {
 		t.Fatal("parity-detected damage must surface as an error")
@@ -155,7 +159,9 @@ func TestVerifyCleanAndDamaged(t *testing.T) {
 	// Damage within repair ability: verify succeeds but reports it.
 	buf, _ := os.ReadFile(enc)
 	buf[len(buf)/2] ^= 0x40
-	os.WriteFile(enc, buf, 0o644) //nolint:errcheck
+	if err := os.WriteFile(enc, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if err := cmdVerify([]string{"-in", enc, "-threads", "1"}); err != nil {
 		t.Fatal(err)
 	}

@@ -66,14 +66,14 @@ func cmdGen(args []string, out io.Writer) error {
 		return err
 	}
 	if err := datasets.WriteRaw(f, field, dtype); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the write error wins
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s: dims %v, %d elements, %s\n", *outPath, field.Dims, field.N(), *dtypeS)
-	return nil
+	_, err = fmt.Fprintf(out, "wrote %s: dims %v, %d elements, %s\n", *outPath, field.Dims, field.N(), *dtypeS)
+	return err
 }
 
 func cmdInfo(args []string, out io.Writer) error {
@@ -104,11 +104,9 @@ func cmdInfo(args []string, out io.Writer) error {
 		return err
 	}
 	lo, hi := metrics.Range(field.Data)
-	fmt.Fprintf(out, "file:     %s\n", *in)
-	fmt.Fprintf(out, "dims:     %v (%d elements)\n", field.Dims, field.N())
-	fmt.Fprintf(out, "range:    [%g, %g]\n", lo, hi)
-	fmt.Fprintf(out, "mean:     %g\n", mean(field.Data))
-	return nil
+	_, err = fmt.Fprintf(out, "file:     %s\ndims:     %v (%d elements)\nrange:    [%g, %g]\nmean:     %g\n",
+		*in, field.Dims, field.N(), lo, hi, mean(field.Data))
+	return err
 }
 
 func mean(xs []float64) float64 {

@@ -31,11 +31,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	experiments.Sec64().Table().Write(out)
+	if err := experiments.Sec64().Table().Write(out); err != nil {
+		return err
+	}
 	if *verbose {
 		for _, s := range []failmodel.System{failmodel.Cielo(), failmodel.Hopper()} {
 			rec := failmodel.Recommend(s)
-			fmt.Fprintf(out, "%s: %s\n\n", s.Name, rec.Rationale)
+			if _, err := fmt.Fprintf(out, "%s: %s\n\n", s.Name, rec.Rationale); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

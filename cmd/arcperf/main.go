@@ -45,16 +45,24 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r.Table().Write(out)
-		r.BWTable().Write(out)
+		if err := r.Table().Write(out); err != nil {
+			return err
+		}
+		if err := r.BWTable().Write(out); err != nil {
+			return err
+		}
 	}
 	if which == "single" || which == "all" {
 		r, err := experiments.Fig12(*threads, *scale, *seed, nil)
 		if err != nil {
 			return err
 		}
-		r.Table().Write(out)
-		r.BWTable().Write(out)
+		if err := r.Table().Write(out); err != nil {
+			return err
+		}
+		if err := r.BWTable().Write(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -42,7 +42,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	experiments.Sec63Table(rows).Write(out)
+	if err := experiments.Sec63Table(rows).Write(out); err != nil {
+		return err
+	}
 	allOK := true
 	for _, r := range rows {
 		if r.Corrected != r.Trials || !r.BurstCorrected {
@@ -50,25 +52,35 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if allOK {
-		fmt.Fprintln(out, "RESULT: ARC corrected 100% of injected errors (paper Section 6.3 reproduced).")
+		if _, err := fmt.Fprintln(out, "RESULT: ARC corrected 100% of injected errors (paper Section 6.3 reproduced)."); err != nil {
+			return err
+		}
 	} else {
 		return fmt.Errorf("some injected errors were NOT corrected — reproduction FAILED")
 	}
 	if *matrix {
-		fmt.Fprintln(out)
+		if _, err := fmt.Fprintln(out); err != nil {
+			return err
+		}
 		m, err := experiments.ExtResilienceMatrix(64<<10, *trials, *seed)
 		if err != nil {
 			return err
 		}
-		m.Table().Write(out)
+		if err := m.Table().Write(out); err != nil {
+			return err
+		}
 	}
 	if *crossover {
-		fmt.Fprintln(out)
+		if _, err := fmt.Fprintln(out); err != nil {
+			return err
+		}
 		c, err := experiments.ExtCrossover(256<<10, 20, *seed)
 		if err != nil {
 			return err
 		}
-		c.Table().Write(out)
+		if err := c.Table().Write(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -57,19 +57,29 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r.Table().Write(out)
-		fmt.Fprintln(out, "speedup (max threads vs 1): [encode, decode]")
-		for cfg, s := range r.Speedup() {
-			fmt.Fprintf(out, "  %-14s %.2fx  %.2fx\n", cfg, s[0], s[1])
+		if err := r.Table().Write(out); err != nil {
+			return err
 		}
-		fmt.Fprintln(out)
+		if _, err := fmt.Fprintln(out, "speedup (max threads vs 1): [encode, decode]"); err != nil {
+			return err
+		}
+		for cfg, s := range r.Speedup() {
+			if _, err := fmt.Fprintf(out, "  %-14s %.2fx  %.2fx\n", cfg, s[0], s[1]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(out); err != nil {
+			return err
+		}
 	}
 	if which == "err" || which == "all" {
 		r, err := experiments.Fig10(ts, payload, []int{1, 100000}, *seed)
 		if err != nil {
 			return err
 		}
-		r.Table().Write(out)
+		if err := r.Table().Write(out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

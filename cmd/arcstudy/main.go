@@ -36,12 +36,11 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	render := func(t *experiments.Table) {
+	render := func(t *experiments.Table) error {
 		if *csv {
-			t.WriteCSV(out)
-		} else {
-			t.Write(out)
+			return t.WriteCSV(out)
 		}
+		return t.Write(out)
 	}
 	which := "all"
 	if fs.NArg() > 0 {
@@ -62,35 +61,45 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		render(r.Table())
+		if err := render(r.Table()); err != nil {
+			return err
+		}
 	}
 	if sel("fig2") {
 		r, err := experiments.Fig2(o)
 		if err != nil {
 			return err
 		}
-		render(r.Table())
+		if err := render(r.Table()); err != nil {
+			return err
+		}
 	}
 	if sel("fig3") {
 		r, err := experiments.Fig3(o)
 		if err != nil {
 			return err
 		}
-		render(r.Table())
+		if err := render(r.Table()); err != nil {
+			return err
+		}
 	}
 	if sel("fig4") {
 		r, err := experiments.Fig4(o)
 		if err != nil {
 			return err
 		}
-		render(r.Table())
+		if err := render(r.Table()); err != nil {
+			return err
+		}
 	}
 	if sel("fig5") {
 		r, err := experiments.Fig5(o)
 		if err != nil {
 			return err
 		}
-		render(r.Table())
+		if err := render(r.Table()); err != nil {
+			return err
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want fig1..fig5 or all)", which)

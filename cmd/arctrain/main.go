@@ -43,6 +43,8 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	r.Table().Write(out)
+	if err := r.Table().Write(out); err != nil {
+		return err
+	}
 	return nil
 }

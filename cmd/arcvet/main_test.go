@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"unknown analyzer", []string{"-only", "nosuch"}, 2},
+		{"unknown flag", []string{"-bogus"}, 2},
+		// The driver's own directory must be clean, via both renderers.
+		{"self text", []string{"-only", "uncheckederr", "."}, 0},
+		{"self json", []string{"-json", "-only", "bitwidth", "."}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.args); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d", tc.args, got, tc.want)
+			}
+		})
+	}
+}

@@ -25,15 +25,15 @@ func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunk
 	}
 	w, err := a.NewWriter(out, mem, bw, res, chunkSize)
 	if err != nil {
-		out.Close()
+		_ = out.Close() // error path: the open error wins
 		return Choice{}, 0, err
 	}
 	if _, err := io.Copy(w, in); err != nil {
-		out.Close()
+		_ = out.Close() // error path: the copy error wins
 		return Choice{}, 0, fmt.Errorf("arc: encode %s: %w", src, err)
 	}
 	if err := w.Close(); err != nil {
-		out.Close()
+		_ = out.Close() // error path: the close error wins
 		return Choice{}, 0, err
 	}
 	if err := out.Close(); err != nil {

@@ -37,7 +37,7 @@ func FuzzContainerDecode(f *testing.F) {
 		if len(data) > 1<<20 {
 			return
 		}
-		_, _ = Decode(data, 1) //nolint:errcheck
+		_, _ = Decode(data, 1)
 	})
 }
 
@@ -60,7 +60,7 @@ func FuzzSZDecompress(f *testing.F) {
 		if len(data) > 1<<20 {
 			return
 		}
-		_, _, _ = sz.Decompress(data) //nolint:errcheck
+		_, _, _ = sz.Decompress(data)
 		_, _, _ = sz.DecompressRegions(data, 1)
 	})
 }
@@ -88,7 +88,7 @@ func FuzzZFPDecompress(f *testing.F) {
 		if len(data) > 1<<20 {
 			return
 		}
-		_, _, _ = zfp.Decompress(data) //nolint:errcheck
+		_, _, _ = zfp.Decompress(data)
 		_, _, _ = zfp.DecompressProgressive(data, 8, 1)
 	})
 }
@@ -134,8 +134,8 @@ func FuzzStreamReader(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	w.Write(bytes.Repeat([]byte{7}, 6000)) //nolint:errcheck
-	w.Close()                              //nolint:errcheck
+	_, _ = w.Write(bytes.Repeat([]byte{7}, 6000))
+	_ = w.Close()
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -135,7 +135,7 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 					t.Fatalf("trial %d: Decode panicked: %v", trial, r)
 				}
 			}()
-			_, _ = Decode(buf, 1) //nolint:errcheck
+			_, _ = Decode(buf, 1)
 		}()
 	}
 }
@@ -163,7 +163,7 @@ func TestDecodeHeavilyCorruptedContainers(t *testing.T) {
 					t.Fatalf("trial %d: panicked: %v", trial, r)
 				}
 			}()
-			_, _ = a.Decode(mut) //nolint:errcheck
+			_, _ = a.Decode(mut)
 		}()
 	}
 }

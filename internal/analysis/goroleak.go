@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "goroleak",
+		Doc: "reports `go` statements with no visible join: the spawned function " +
+			"neither touches a sync.WaitGroup nor communicates on a channel, so " +
+			"nothing can wait for it and it can leak past function return",
+		Run: runGoroLeak,
+	})
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if !hasJoinSignal(pass.Info, lit.Body) {
+					pass.Reportf(g.Pos(), "goroutine has no WaitGroup or channel join; nothing can wait for it")
+				}
+				return true
+			}
+			// go foo(...): a join is possible when the callee receives a
+			// channel or *sync.WaitGroup, or is a method on a value that
+			// could hold one — require at least a channel/WaitGroup arg
+			// or receiver.
+			if !callCanJoin(pass.Info, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine call passes no channel or *sync.WaitGroup; nothing can wait for it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasJoinSignal reports whether a goroutine body contains an
+// operation another goroutine can synchronize with: a channel send,
+// receive, close, or select; or any sync.WaitGroup method call.
+func hasJoinSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if f := calleeFunc(info, x); f != nil && isWaitGroupMethod(f) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether f is a method on *sync.WaitGroup.
+func isWaitGroupMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// callCanJoin reports whether any argument (or the method receiver)
+// of a spawned call carries a channel or *sync.WaitGroup, which a
+// caller could later join on.
+func callCanJoin(info *types.Info, call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr(nil), call.Args...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		tv, ok := info.Types[e]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if canCarryJoin(tv.Type, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// canCarryJoin walks a type for channels or WaitGroups (directly, via
+// pointer, or as a struct field).
+func canCarryJoin(t types.Type, depth int) bool {
+	if depth > 6 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		return canCarryJoin(u.Elem(), depth+1)
+	case *types.Struct:
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+				return true
+			}
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if canCarryJoin(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader resolves and type-checks packages. Module-local import paths
+// (below ModulePath) are parsed and checked from source; everything
+// else is delegated to the standard library's source importer. All
+// packages share one token.FileSet so positions stay comparable.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	RootDir    string
+
+	std  types.Importer
+	deps map[string]*types.Package // import-variant cache (no test files)
+}
+
+// Unit is one type-checked analysis unit: a package's sources plus,
+// when present, its external _test package as a separate Unit.
+type Unit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewLoader locates the enclosing module (walking up from dir to the
+// nearest go.mod) and prepares an importer rooted there.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		RootDir:    root,
+		std:        importer.ForCompiler(fset, "source", nil),
+		deps:       map[string]*types.Package{},
+	}, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// Import implements types.Importer: module-local packages load from
+// source without test files; all other paths go to the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		if pkg, ok := l.deps[path]; ok {
+			return pkg, nil
+		}
+		dir := filepath.Join(l.RootDir, strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/"))
+		files, _, err := l.parseDir(dir, false)
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		l.deps[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir type-checks the package in dir including its test files,
+// returning one Unit for the package itself and, when external
+// (package foo_test) files exist, a second Unit for those.
+func (l *Loader) LoadDir(dir string) ([]*Unit, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.RootDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module %s", dir, l.ModulePath)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path = l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	primary, external, err := l.parseDir(abs, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(primary) == 0 && len(external) == 0 {
+		return nil, nil
+	}
+	var units []*Unit
+	if len(primary) > 0 {
+		pkg, info, err := l.check(path, primary)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{Path: path, Files: primary, Pkg: pkg, Info: info})
+	}
+	if len(external) > 0 {
+		pkg, info, err := l.check(path+"_test", external)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{Path: path + "_test", Files: external, Pkg: pkg, Info: info})
+	}
+	return units, nil
+}
+
+// parseDir parses the buildable .go files of one directory, split
+// into the primary package's files (optionally including in-package
+// tests) and external-test-package files.
+func (l *Loader) parseDir(dir string, includeTests bool) (primary, external []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ignoredByBuildTag(file) {
+			continue
+		}
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			if includeTests {
+				external = append(external, file)
+			}
+			continue
+		}
+		primary = append(primary, file)
+	}
+	return primary, external, nil
+}
+
+// ignoredByBuildTag reports whether a file opts out of the build via
+// a `//go:build ignore`-style constraint.
+func ignoredByBuildTag(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() > file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// check runs the type checker over files with the loader as importer.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// NewInfo allocates a fully populated types.Info so analyzers never
+// hit a nil map.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// ExpandPatterns turns command-line package patterns ("./...", a
+// directory, or a lone "...") into the list of directories under the
+// module that contain Go files.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}

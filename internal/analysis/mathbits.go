@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "mathbits",
+		Doc: "reports value-changing integer conversions (sign flips and " +
+			"narrowing) in the quantizer/negabinary/codec packages, where an " +
+			"unguarded overflow silently corrupts reconstructed data",
+		// The bug class lives where floats are quantized to ints and
+		// ints are re-mapped bitwise: SZ's quantizer, ZFP's negabinary
+		// block coder, and the Huffman symbol tables.
+		Packages: []string{"internal/sz", "internal/zfp", "internal/huffman"},
+		Run:      runMathBits,
+	})
+}
+
+func runMathBits(pass *Pass) error {
+	for _, file := range pass.Files {
+		shiftCounts := collectShiftCounts(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A conversion feeding a shift count is exempt: Go range-
+			// checks constant counts, and a negative variable count
+			// yields an oversized shift the bitwidth class covers.
+			if shiftCounts[call] {
+				return true
+			}
+			// A conversion is a CallExpr whose Fun denotes a type.
+			tv, ok := pass.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := basicInt(tv.Type)
+			if !ok {
+				return true
+			}
+			argTV, ok := pass.Info.Types[call.Args[0]]
+			if !ok || argTV.Type == nil || argTV.Value != nil {
+				// Constant operands are range-checked at compile time.
+				return true
+			}
+			src, ok := basicInt(argTV.Type)
+			if !ok {
+				return true
+			}
+			srcBits, dstBits := intBits(src), intBits(dst)
+			switch {
+			case isSigned(src) && !isSigned(dst):
+				// len/cap are non-negative by definition, so widening
+				// them to a 64-bit unsigned type cannot change value.
+				if dstBits == 64 && isLenOrCap(pass.Info, call.Args[0]) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s(%s) wraps negative values to huge %s", dst.Name(), src.Name(), dst.Name())
+			case !isSigned(src) && isSigned(dst) && srcBits >= dstBits:
+				pass.Reportf(call.Pos(), "%s(%s) overflows when the value exceeds %s's range", dst.Name(), src.Name(), dst.Name())
+			case isSigned(src) == isSigned(dst) && dstBits < srcBits:
+				pass.Reportf(call.Pos(), "narrowing %s -> %s truncates without a guard", src.Name(), dst.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectShiftCounts gathers the expressions used as shift counts in
+// a file so conversions there can be exempted.
+func collectShiftCounts(file *ast.File) map[ast.Expr]bool {
+	counts := map[ast.Expr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.SHL || x.Op == token.SHR {
+				counts[ast.Unparen(x.Y)] = true
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.SHL_ASSIGN || x.Tok == token.SHR_ASSIGN {
+				counts[ast.Unparen(x.Rhs[0])] = true
+			}
+		}
+		return true
+	})
+	return counts
+}
+
+// isLenOrCap reports whether e is a builtin len or cap call.
+func isLenOrCap(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || (id.Name != "len" && id.Name != "cap") {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

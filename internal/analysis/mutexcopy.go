@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "mutexcopy",
+		Doc: "reports sync.Mutex/RWMutex/WaitGroup/Once/Cond/Pool/Map values copied " +
+			"by value — as parameters, receivers, range values, or dereference " +
+			"assignments — which forks the lock state and breaks mutual exclusion",
+		Run: runMutexCopy,
+	})
+}
+
+func runMutexCopy(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					for _, f := range x.Recv.List {
+						checkFieldLock(pass, f, "receiver")
+					}
+				}
+				if x.Type.Params != nil {
+					for _, f := range x.Type.Params.List {
+						checkFieldLock(pass, f, "parameter")
+					}
+				}
+			case *ast.FuncLit:
+				if x.Type.Params != nil {
+					for _, f := range x.Type.Params.List {
+						checkFieldLock(pass, f, "parameter")
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := exprType(pass.Info, x.Value); t != nil {
+						if p := lockPath(t); p != "" {
+							pass.Reportf(x.Value.Pos(), "range value copies %s (via %s); iterate by index instead", p, "element copy")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					if star, ok := ast.Unparen(rhs).(*ast.StarExpr); ok {
+						if t := exprType(pass.Info, star); t != nil {
+							if p := lockPath(t); p != "" {
+								pass.Reportf(rhs.Pos(), "dereference copies %s out of the shared value", p)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldLock flags a value (non-pointer) parameter or receiver
+// whose type holds a sync primitive.
+func checkFieldLock(pass *Pass, field *ast.Field, kind string) {
+	t := exprType(pass.Info, field.Type)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if p := lockPath(t); p != "" {
+		pass.Reportf(field.Type.Pos(), "%s passes %s by value; use a pointer", kind, p)
+	}
+}
+
+// exprType is info.Types lookup with a nil guard.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	// TypeOf consults the Types map and then Defs/Uses, so it also
+	// resolves identifiers that only appear as definitions (e.g. the
+	// value variable of a range statement).
+	return info.TypeOf(e)
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of analyzing a set of directories.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Packages counts the units (including external test packages)
+	// that were loaded and checked.
+	Packages int
+}
+
+// Run loads every directory and applies the given analyzers,
+// returning position-sorted, suppression-filtered diagnostics.
+func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	for _, dir := range dirs {
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, unit := range units {
+			res.Packages++
+			sup, bad := collectSuppressions(loader, unit.Files)
+			res.Diagnostics = append(res.Diagnostics, bad...)
+			var diags []Diagnostic
+			for _, a := range analyzers {
+				if !a.AppliesTo(unit.Path) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     loader.Fset,
+					Files:    unit.Files,
+					Pkg:      unit.Pkg,
+					Info:     unit.Info,
+					PkgPath:  unit.Path,
+					diags:    &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", a.Name, unit.Path, err)
+				}
+			}
+			for _, d := range diags {
+				if !sup.matches(d) {
+					res.Diagnostics = append(res.Diagnostics, d)
+				}
+			}
+		}
+	}
+	for i := range res.Diagnostics {
+		d := &res.Diagnostics[i]
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// suppressions maps file -> line -> analyzer names silenced there. A
+// finding is silenced when an ignore directive sits on its line or on
+// the line directly above.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) matches(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[line]; names != nil && names[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans comments for //arcvet:ignore directives.
+// Malformed directives (no analyzer named, or an unknown analyzer)
+// become diagnostics themselves so waivers stay auditable.
+func collectSuppressions(loader *Loader, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "arcvet:ignore")
+				if !ok {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "arcvet",
+						Pos:      pos,
+						Message:  "arcvet:ignore must name the analyzer it suppresses",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "arcvet",
+						Pos:      pos,
+						Message:  fmt.Sprintf("arcvet:ignore names unknown analyzer %q", name),
+					})
+					continue
+				}
+				if sup[pos.Filename] == nil {
+					sup[pos.Filename] = map[int]map[string]bool{}
+				}
+				if sup[pos.Filename][pos.Line] == nil {
+					sup[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				sup[pos.Filename][pos.Line][name] = true
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "tparallel",
+		Doc: "reports tests that call t.Parallel() while assigning to package-level " +
+			"variables — parallel siblings then race on the shared state",
+		Run: runTParallel,
+	})
+}
+
+func runTParallel(pass *Pass) error {
+	for _, file := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !strings.HasPrefix(fn.Name.Name, "Test") {
+				continue
+			}
+			if !callsTParallel(pass.Info, fn.Body) {
+				continue
+			}
+			reportGlobalWrites(pass, fn)
+		}
+	}
+	return nil
+}
+
+// callsTParallel reports whether the body (including subtest
+// closures) calls Parallel on a *testing.T.
+func callsTParallel(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Name() != "Parallel" {
+			return true
+		}
+		sig, ok := f.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "testing" && named.Obj().Name() == "T" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportGlobalWrites flags assignments and inc/dec statements whose
+// target resolves to a package-level variable.
+func reportGlobalWrites(pass *Pass, fn *ast.FuncDecl) {
+	pkgScope := pass.Pkg.Scope()
+	checkTarget := func(e ast.Expr) {
+		id := rootIdent(e)
+		if id == nil {
+			return
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Parent() != pkgScope {
+			return
+		}
+		pass.Reportf(e.Pos(), "parallel test %s mutates package variable %s", fn.Name.Name, v.Name())
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(x.X)
+		}
+		return true
+	})
+}
+
+// rootIdent walks selector/index expressions down to their base
+// identifier (s.f[i] -> s), which is the storage being mutated.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// namedOf unwraps one pointer level to the named type beneath.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

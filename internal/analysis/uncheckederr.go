@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errSafeCallees are callees whose returned error cannot be non-nil
+// by documented contract, so dropping it is conventional. Matched by
+// prefix against (*types.Func).FullName.
+var errSafeCallees = []string{
+	"(*bytes.Buffer).",    // "err is always nil" per package docs
+	"(*strings.Builder).", // same contract
+	"fmt.Print",           // terminal writes; failure is unactionable
+	"(hash.Hash).Write",   // "never returns an error" per hash docs
+	"(hash.Hash32).Write",
+	"(hash.Hash64).Write",
+	"(*math/rand.Rand).Read", // always nil per math/rand docs
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "uncheckederr",
+		Doc: "reports call statements that discard a returned error — dropped bitio " +
+			"write errors, Close results, and flate flushes silently corrupt streams",
+		Run: runUncheckedErr,
+	})
+}
+
+func runUncheckedErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !resultsWithError(pass.Info, call) {
+				return true
+			}
+			name := "function"
+			if f := calleeFunc(pass.Info, call); f != nil {
+				full := f.FullName()
+				for _, safe := range errSafeCallees {
+					if strings.HasPrefix(full, safe) {
+						return true
+					}
+				}
+				if strings.HasPrefix(full, "fmt.Fprint") && writerCannotFail(pass, call) {
+					return true
+				}
+				name = full
+			}
+			pass.Reportf(call.Pos(), "result of %s contains an error that is discarded", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// writerCannotFail reports whether a fmt.Fprint* call writes to a
+// destination whose Write cannot return an error by contract — the
+// std streams (failed terminal writes have no actionable recovery,
+// matching the fmt.Print* convention), bytes.Buffer, and
+// strings.Builder.
+func writerCannotFail(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sel, ok := arg.(*ast.SelectorExpr); ok {
+		if obj, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+			(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch types.TypeString(tv.Type, nil) {
+	case "*bytes.Buffer", "*strings.Builder":
+		return true
+	}
+	return false
+}

@@ -84,7 +84,7 @@ func TestSkipAndPos(t *testing.T) {
 
 func TestAlignByte(t *testing.T) {
 	r := NewReader([]byte{0x00, 0xFF})
-	r.ReadBits(3) //nolint:errcheck
+	_, _ = r.ReadBits(3)
 	r.AlignByte()
 	if r.Pos() != 8 {
 		t.Fatalf("pos = %d, want 8", r.Pos())

@@ -30,7 +30,9 @@ func TestFig1(t *testing.T) {
 		t.Fatalf("worst case only %.1f%% incorrect; expected severe corruption", max)
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "Figure 1") {
 		t.Fatal("table must carry the figure title")
 	}
@@ -55,7 +57,9 @@ func TestFig2ShapeClaims(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "ZFP-Rate") {
 		t.Fatal("table missing rows")
 	}
@@ -101,7 +105,9 @@ func TestFig6(t *testing.T) {
 		t.Fatal("more threads must train more configurations")
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "Figure 6") {
 		t.Fatal("bad table")
 	}
@@ -174,8 +180,12 @@ func TestFig11ConstraintTracking(t *testing.T) {
 			r.MemRows[0].ChoiceOverhead, r.MemRows[3].ChoiceOverhead)
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
-	r.BWTable().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BWTable().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "Figure 11") {
 		t.Fatal("bad tables")
 	}
@@ -222,7 +232,9 @@ func TestSec63AllCorrected(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	Sec63Table(rows).Write(&buf)
+	if err := Sec63Table(rows).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "Section 6.3") {
 		t.Fatal("bad table")
 	}
@@ -234,7 +246,9 @@ func TestSec64Report(t *testing.T) {
 		t.Fatal("want Cielo and Hopper")
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"Cielo", "Hopper", "1.90", "5.43"} {
 		if !strings.Contains(out, want) {
@@ -247,7 +261,9 @@ func TestTableRendering(t *testing.T) {
 	tab := &Table{Title: "T", Header: []string{"a", "bb"}, Caption: "c"}
 	tab.AddRow("xxx", "y")
 	var buf bytes.Buffer
-	tab.Write(&buf)
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"== T ==", "xxx", "bb", "c"} {
 		if !strings.Contains(out, want) {
@@ -291,7 +307,9 @@ func TestExtResilienceMatrix(t *testing.T) {
 		t.Fatalf("secded burst produced silent corruption: %+v", sb)
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "recovery matrix") {
 		t.Fatal("bad table")
 	}
@@ -321,7 +339,9 @@ func TestWriteCSV(t *testing.T) {
 	tab.AddRow("x,y", "2")
 	tab.AddRow("plain", "3")
 	var buf bytes.Buffer
-	tab.WriteCSV(&buf)
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
 	want := "a,b\n\"x,y\",2\nplain,3\n"
 	if buf.String() != want {
 		t.Fatalf("csv:\n%q\nwant:\n%q", buf.String(), want)
@@ -363,7 +383,9 @@ func TestExtCrossover(t *testing.T) {
 		t.Fatal("ilsecded must undercut heavy RS overhead")
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "crossover") {
 		t.Fatal("bad table")
 	}
@@ -385,7 +407,9 @@ func TestFig5AllDatasets(t *testing.T) {
 		t.Fatalf("datasets %v", seen)
 	}
 	var buf bytes.Buffer
-	r.Table().Write(&buf)
+	if err := r.Table().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(buf.String(), "NYX-T") {
 		t.Fatal("table missing dataset column")
 	}

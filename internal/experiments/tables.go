@@ -22,10 +22,13 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Write renders the table.
-func (t *Table) Write(w io.Writer) {
+// Write renders the table. The render is staged through an in-memory
+// builder so w sees a single write whose error is reported — a table
+// truncated by a full disk or closed pipe must not pass silently.
+func (t *Table) Write(w io.Writer) error {
+	var sb strings.Builder
 	if t.Title != "" {
-		fmt.Fprintf(w, "== %s ==\n", t.Title)
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
 	}
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
@@ -43,7 +46,7 @@ func (t *Table) Write(w io.Writer) {
 		for i, c := range cells {
 			parts[i] = pad(c, widths[i])
 		}
-		fmt.Fprintln(w, strings.Join(parts, "  "))
+		fmt.Fprintln(&sb, strings.Join(parts, "  "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))
@@ -55,9 +58,11 @@ func (t *Table) Write(w io.Writer) {
 		line(r)
 	}
 	if t.Caption != "" {
-		fmt.Fprintln(w, t.Caption)
+		fmt.Fprintln(&sb, t.Caption)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&sb)
+	_, err := io.WriteString(w, sb.String())
+	return err
 }
 
 func pad(s string, w int) string {
@@ -75,24 +80,28 @@ func iS(v int) string      { return fmt.Sprintf("%d", v) }
 func pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
 
 // WriteCSV renders the table as RFC-4180-ish CSV (header row first),
-// for piping experiment output into plotting tools.
-func (t *Table) WriteCSV(w io.Writer) {
-	writeCSVRow(w, t.Header)
+// for piping experiment output into plotting tools. Like Write, it
+// reports the destination's write error.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeCSVRow(&sb, t.Header)
 	for _, r := range t.Rows {
-		writeCSVRow(w, r)
+		writeCSVRow(&sb, r)
 	}
+	_, err := io.WriteString(w, sb.String())
+	return err
 }
 
-func writeCSVRow(w io.Writer, cells []string) {
+func writeCSVRow(sb *strings.Builder, cells []string) {
 	for i, c := range cells {
 		if i > 0 {
-			fmt.Fprint(w, ",")
+			sb.WriteString(",")
 		}
 		if strings.ContainsAny(c, ",\"\n") {
-			fmt.Fprintf(w, "%q", c)
+			fmt.Fprintf(sb, "%q", c)
 		} else {
-			fmt.Fprint(w, c)
+			sb.WriteString(c)
 		}
 	}
-	fmt.Fprintln(w)
+	sb.WriteString("\n")
 }

@@ -88,7 +88,7 @@ func TestInvertNonSquarePanics(t *testing.T) {
 			t.Fatal("non-square invert should panic")
 		}
 	}()
-	NewMatrix(2, 3).Invert() //nolint:errcheck
+	_, _ = NewMatrix(2, 3).Invert()
 }
 
 func TestVandermonde(t *testing.T) {

@@ -79,6 +79,9 @@ func Build(freqs []int64) (*Codec, error) {
 	if n == 0 {
 		return nil, errors.New("huffman: empty alphabet")
 	}
+	if n > maxAlphabet {
+		return nil, fmt.Errorf("huffman: alphabet size %d exceeds limit %d", n, maxAlphabet)
+	}
 	var h hheap
 	for s, f := range freqs {
 		if f > 0 {
@@ -115,7 +118,7 @@ func assignLengths(n *hnode, depth int, lengths []uint8) error {
 		if depth > MaxCodeLen {
 			return fmt.Errorf("huffman: code length %d exceeds limit", depth)
 		}
-		lengths[n.sym] = uint8(depth)
+		lengths[n.sym] = uint8(depth) //arcvet:ignore mathbits depth <= MaxCodeLen (63) is checked above
 		return nil
 	}
 	if err := assignLengths(n.left, depth+1, lengths); err != nil {
@@ -150,7 +153,7 @@ func (c *Codec) buildCanonical() error {
 	// Kraft sum must not exceed 1 (overfull code is undecodable).
 	var kraft uint64
 	for l := 1; l <= maxLen; l++ {
-		kraft += uint64(counts[l]) << uint(maxLen-l)
+		kraft += uint64(counts[l]) << (maxLen - l) //arcvet:ignore mathbits counts are non-negative cardinalities
 	}
 	if kraft > 1<<uint(maxLen) {
 		return ErrCorrupt
@@ -159,7 +162,7 @@ func (c *Codec) buildCanonical() error {
 	used := make([]int32, 0, len(c.lengths))
 	for s, l := range c.lengths {
 		if l > 0 {
-			used = append(used, int32(s))
+			used = append(used, int32(s)) //arcvet:ignore mathbits s < maxAlphabet (1<<26), enforced by Build and ReadTable
 		}
 	}
 	sort.Slice(used, func(i, j int) bool {
@@ -177,7 +180,7 @@ func (c *Codec) buildCanonical() error {
 	for l := 1; l <= maxLen; l++ {
 		c.firstCode[l] = code
 		c.firstIndex[l] = idx
-		code += uint64(counts[l])
+		code += uint64(counts[l]) //arcvet:ignore mathbits counts are non-negative cardinalities
 		idx += counts[l]
 		code <<= 1
 	}
@@ -206,8 +209,8 @@ func (c *Codec) buildLUT() {
 		}
 		base := c.codes[s] << uint(lutBits-l)
 		count := 1 << uint(lutBits-l)
-		for i := 0; i < count; i++ {
-			c.lut[base+uint64(i)] = lutEntry{sym: s, len: uint8(l)}
+		for i := uint64(0); i < uint64(count); i++ { //arcvet:ignore mathbits count = 1 << (lutBits-l) is positive
+			c.lut[base+i] = lutEntry{sym: s, len: uint8(l)} //arcvet:ignore mathbits l <= lutBits (12) inside this loop
 		}
 	}
 }
@@ -252,8 +255,10 @@ func (c *Codec) decodeSlow(r *bitio.Reader) (int, error) {
 		code = code<<1 | uint64(b)
 		first := c.firstCode[l]
 		count := c.firstIndex[l+1] - c.firstIndex[l]
+		//arcvet:ignore mathbits count > 0 is checked first
 		if count > 0 && code >= first && code < first+uint64(count) {
-			return int(c.symsByCode[c.firstIndex[l]+int(code-first)]), nil
+			idx := c.firstIndex[l] + int(code-first) //arcvet:ignore mathbits code-first < count <= maxAlphabet by the guard above
+			return int(c.symsByCode[idx]), nil
 		}
 	}
 	return 0, fmt.Errorf("%w: no code matches", ErrCorrupt)
@@ -262,10 +267,10 @@ func (c *Codec) decodeSlow(r *bitio.Reader) (int, error) {
 // WriteTable serializes the code table: alphabet size, number of used
 // symbols, then (symbol, length) pairs with 6-bit lengths.
 func (c *Codec) WriteTable(w *bitio.Writer) {
-	w.WriteBits(uint64(c.NumSymbols), 32)
+	w.WriteBits(uint64(len(c.lengths)), 32) // == NumSymbols by construction
 	w.WriteBits(uint64(len(c.symsByCode)), 32)
 	for _, s := range c.symsByCode {
-		w.WriteBits(uint64(s), 32)
+		w.WriteBits(uint64(s), 32) //arcvet:ignore mathbits symbols are indices in [0, maxAlphabet)
 		w.WriteBits(uint64(c.lengths[s]), 6)
 	}
 }
@@ -289,7 +294,7 @@ func ReadTable(r *bitio.Reader) (*Codec, error) {
 		return nil, fmt.Errorf("%w: implausible table header (nsym=%d nused=%d)", ErrCorrupt, nsym, nused)
 	}
 	c := &Codec{
-		NumSymbols: int(nsym),
+		NumSymbols: int(nsym), //arcvet:ignore mathbits nsym <= maxAlphabet is validated above
 		lengths:    make([]uint8, nsym),
 		codes:      make([]uint64, nsym),
 	}
@@ -308,7 +313,7 @@ func ReadTable(r *bitio.Reader) (*Codec, error) {
 		if c.lengths[s] != 0 {
 			return nil, fmt.Errorf("%w: duplicate symbol %d", ErrCorrupt, s)
 		}
-		c.lengths[s] = uint8(l)
+		c.lengths[s] = uint8(l) //arcvet:ignore mathbits l was read from 6 bits, so l < 64
 	}
 	if err := c.buildCanonical(); err != nil {
 		return nil, err

@@ -282,7 +282,7 @@ func BenchmarkDecode(b *testing.B) {
 	zipf := rand.NewZipf(rng, 1.3, 1, 65535)
 	syms := make([]int, n)
 	for i := range syms {
-		syms[i] = int(zipf.Uint64())
+		syms[i] = int(zipf.Uint64()) //arcvet:ignore mathbits zipf imax is 65535
 		c.Encode(&w, syms[i])
 	}
 	buf := w.Bytes()

@@ -1,0 +1,79 @@
+// Package safecast provides checked integer conversions for the
+// codec packages. The arcvet mathbits analyzer flags raw conversions
+// that can silently change a value (sign flips, narrowing); routing
+// them through these helpers turns "trust me, it fits" into an
+// enforced invariant — a violated bound panics with a descriptive
+// message instead of corrupting an encoded stream.
+//
+// The Bits* helpers are the deliberate exceptions: they reinterpret
+// a bit pattern across signedness (two's complement) and exist so
+// intentional reinterpretation reads differently from an accidental
+// conversion.
+package safecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// U8 converts a non-negative int that must fit a byte.
+func U8(n int) uint8 {
+	if n < 0 || n > math.MaxUint8 {
+		panic(fmt.Sprintf("safecast: %d does not fit uint8", n))
+	}
+	return uint8(n)
+}
+
+// U32 converts a non-negative int that must fit 32 bits — stream
+// header length fields, counts, and dimensions.
+func U32(n int) uint32 {
+	if n < 0 || n > math.MaxUint32 {
+		panic(fmt.Sprintf("safecast: %d does not fit uint32", n))
+	}
+	return uint32(n)
+}
+
+// U64 converts an int that must be non-negative.
+func U64(n int) uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("safecast: %d is negative", n))
+	}
+	return uint64(n)
+}
+
+// I32 converts an int that must fit 32 signed bits.
+func I32(n int) int32 {
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		panic(fmt.Sprintf("safecast: %d does not fit int32", n))
+	}
+	return int32(n)
+}
+
+// I32From64 converts an int64 that must fit 32 signed bits —
+// quantized regression coefficients serialized as 32-bit fields.
+func I32From64(n int64) int32 {
+	if n < math.MinInt32 || n > math.MaxInt32 {
+		panic(fmt.Sprintf("safecast: %d does not fit int32", n))
+	}
+	return int32(n)
+}
+
+// Int converts a uint64 that must fit the platform int.
+func Int(n uint64) int {
+	if n > math.MaxInt {
+		panic(fmt.Sprintf("safecast: %d does not fit int", n))
+	}
+	return int(n)
+}
+
+// Bits32 reinterprets an int32 as its two's-complement bit pattern.
+func Bits32(x int32) uint32 {
+	//arcvet:ignore mathbits deliberate two's-complement reinterpretation
+	return uint32(x)
+}
+
+// SignBits32 reinterprets a uint32 bit pattern as a signed int32.
+func SignBits32(x uint32) int32 {
+	//arcvet:ignore mathbits deliberate two's-complement reinterpretation
+	return int32(x)
+}

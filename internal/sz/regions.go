@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/parallel"
+	"repro/internal/safecast"
 )
 
 const regionMagic = "SZR1"
@@ -57,9 +58,9 @@ func CompressRegions(data []float64, dims []int, opts Options, regions, workers 
 	}
 	var out bytes.Buffer
 	out.WriteString(regionMagic)
-	binWrite(&out, uint32(regions))
+	binWrite(&out, safecast.U32(regions))
 	for _, s := range streams {
-		binWrite(&out, uint32(len(s)))
+		binWrite(&out, safecast.U32(len(s)))
 	}
 	for _, s := range streams {
 		out.Write(s)

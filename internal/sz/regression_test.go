@@ -230,7 +230,7 @@ func TestMixedFlipRobustness(t *testing.T) {
 					t.Fatalf("bit %d: panic: %v", bit, r)
 				}
 			}()
-			_, _, _ = Decompress(mut) //nolint:errcheck
+			_, _, _ = Decompress(mut)
 		}()
 	}
 }

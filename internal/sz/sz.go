@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
+	"repro/internal/safecast"
 )
 
 // Mode selects the error-bounding mode.
@@ -344,22 +345,22 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 	var payload bytes.Buffer
 	payload.WriteString(magic)
 	payload.WriteByte(version)
-	payload.WriteByte(byte(mode))
+	payload.WriteByte(byte(mode)) //arcvet:ignore mathbits Mode is a validated enum in [0,3]
 	var streamFlags byte
 	if mr != nil {
 		streamFlags |= flagRegression
 	}
 	payload.WriteByte(streamFlags)
-	payload.WriteByte(byte(len(dims)))
+	payload.WriteByte(safecast.U8(len(dims)))
 	for _, d := range dims {
-		binWrite(&payload, uint32(d))
+		binWrite(&payload, safecast.U32(d))
 	}
 	binWrite(&payload, math.Float64bits(eb))
 	binWrite(&payload, math.Float64bits(param))
 	binWrite(&payload, math.Float64bits(minLog))
-	binWrite(&payload, uint32(len(unpred)))
+	binWrite(&payload, safecast.U32(len(unpred)))
 	if mr != nil {
-		binWrite(&payload, uint32(len(mr.modes)))
+		binWrite(&payload, safecast.U32(len(mr.modes)))
 		var mw bitio.Writer
 		for _, m := range mr.modes {
 			if m {
@@ -369,9 +370,9 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 			}
 		}
 		payload.Write(mw.Bytes())
-		binWrite(&payload, uint32(len(mr.qcoeffs)))
+		binWrite(&payload, safecast.U32(len(mr.qcoeffs)))
 		for _, q := range mr.qcoeffs {
-			binWrite(&payload, uint32(int32(q)))
+			binWrite(&payload, safecast.Bits32(safecast.I32From64(q)))
 		}
 	}
 
@@ -392,7 +393,7 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 		}
 	}
 	hb := hw.Bytes()
-	binWrite(&payload, uint32(len(hb)))
+	binWrite(&payload, safecast.U32(len(hb)))
 	payload.Write(hb)
 	for _, u := range unpred {
 		binWrite(&payload, math.Float64bits(u))
@@ -408,7 +409,7 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 	// Final lossless pass (ZStd stand-in).
 	var out bytes.Buffer
 	out.WriteString(magic)
-	binWrite(&out, uint64(payload.Len()))
+	binWrite(&out, safecast.U64(payload.Len()))
 	fw, err := flate.NewWriter(&out, flate.BestSpeed)
 	if err != nil {
 		return nil, err
@@ -516,7 +517,7 @@ func parsePayload(p []byte) ([]float64, []int, error) {
 		}
 		qcoeffs = make([]int64, nc)
 		for i := range qcoeffs {
-			qcoeffs[i] = int64(int32(rd.u32()))
+			qcoeffs[i] = int64(safecast.SignBits32(rd.u32()))
 		}
 	}
 	huffLen := int(rd.u32())
@@ -548,7 +549,7 @@ func parsePayload(p []byte) ([]float64, []int, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("%w: symbol %d: %v", ErrCorrupt, i, err)
 			}
-			syms[i] = int32(s)
+			syms[i] = int32(s) //arcvet:ignore mathbits s < NumSymbols == 2*quantRadius, checked above
 		}
 	}
 	unpred := make([]float64, nUnpred)

@@ -265,5 +265,8 @@ func invXform(c []int64, nd int) {
 // negabinary mask for signed<->unsigned mapping (ZFP's int2uint).
 const nbMask = 0xaaaaaaaaaaaaaaaa
 
+//arcvet:ignore mathbits negabinary deliberately reinterprets the sign bit pattern
 func int2uint(x int64) uint64 { return (uint64(x) + nbMask) ^ nbMask }
+
+//arcvet:ignore mathbits negabinary deliberately reinterprets the sign bit pattern
 func uint2int(x uint64) int64 { return int64((x ^ nbMask) - nbMask) }

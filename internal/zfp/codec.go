@@ -83,7 +83,7 @@ func encodeBlock(w *bitio.Writer, vals []float64, coeffs []int64, bl *blocker, o
 		w.WriteBit(0)
 	} else {
 		w.WriteBit(1)
-		w.WriteBits(uint64(biased), expBits)
+		w.WriteBits(uint64(biased), expBits) //arcvet:ignore mathbits biased is checked in [1, 2*expBias] above
 		scale := math.Ldexp(1, fixedPointBits-emax)
 		for i, v := range vals {
 			coeffs[i] = int64(v * scale)
@@ -190,7 +190,7 @@ func decodeBlock(r *bitio.Reader, vals []float64, coeffs []int64, bl *blocker, o
 		if err != nil {
 			return fmt.Errorf("%w: truncated exponent", ErrCorrupt)
 		}
-		emax := int(biasedU) - expBias
+		emax := int(biasedU) - expBias //arcvet:ignore mathbits biasedU fits in expBits (11) bits
 		kmin := 0
 		if !rateMode {
 			kmin = kminFor(opts, emax)

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/parallel"
+	"repro/internal/safecast"
 )
 
 // Mode selects the compression mode.
@@ -129,10 +130,10 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 	var out bytes.Buffer
 	out.WriteString(magic)
 	out.WriteByte(version)
-	out.WriteByte(byte(opts.Mode))
-	out.WriteByte(byte(len(dims)))
+	out.WriteByte(byte(opts.Mode)) //arcvet:ignore mathbits Mode is a validated enum, rejected above if unknown
+	out.WriteByte(safecast.U8(len(dims)))
 	for _, d := range dims {
-		binWrite(&out, uint32(d))
+		binWrite(&out, safecast.U32(d))
 	}
 	binWrite(&out, math.Float64bits(opts.Param))
 

@@ -39,7 +39,7 @@ func TestXformExactInverse(t *testing.T) {
 			c := make([]int64, size)
 			want := make([]int64, size)
 			for i := range c {
-				c[i] = int64(rng.Uint64()>>8) - (1 << 54)
+				c[i] = int64(rng.Uint64()>>8) - (1 << 54) //arcvet:ignore mathbits top 8 bits cleared by the shift
 				want[i] = c[i]
 			}
 			fwdXform(c, nd)

@@ -188,7 +188,7 @@ func TestStreamChoiceExposed(t *testing.T) {
 	if w.Choice().Config.Method != SECDED {
 		t.Fatalf("choice %v", w.Choice().Config)
 	}
-	w.Close() //nolint:errcheck
+	_ = w.Close()
 }
 
 func TestInspectStream(t *testing.T) {

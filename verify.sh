@@ -1,0 +1,41 @@
+#!/bin/sh
+# verify.sh — the full local gate, mirroring .github/workflows/ci.yml.
+# Usage: ./verify.sh [quick]
+#   quick   skip the race detector and fuzz smoke (seconds, not minutes)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== arcvet =="
+go run ./cmd/arcvet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "quick" ]; then
+    echo "== go test (quick) =="
+    go test ./...
+    echo "verify: OK (quick)"
+    exit 0
+fi
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz smoke (10s per target) =="
+for target in FuzzContainerDecode FuzzSZDecompress FuzzZFPDecompress FuzzHuffmanTable FuzzStreamReader; do
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s .
+done
+
+echo "verify: OK"
