@@ -11,8 +11,11 @@ package arc
 // load) are asserted by the experiments package's own tests.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -360,6 +363,75 @@ func BenchmarkAblationRSDeviceSize(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(len(enc)-len(data))/float64(len(data)), "overhead")
+		})
+	}
+}
+
+// BenchmarkStreamPipelined measures chunk-stream throughput at
+// pipeline depths 1 (the historical sequential path) and GOMAXPROCS,
+// on an 8-chunk stream — the speedup of overlapping chunk encodes and
+// verify/repairs across cores. Output bytes are identical at every
+// depth, so this isolates scheduling, not format. Results are recorded
+// in BENCH_stream.json by verify.sh; the ≥1.5x pipelined-vs-sequential
+// claim applies on hosts with ≥4 cores (a single-core host serializes
+// the workers and shows parity instead).
+func BenchmarkStreamPipelined(b *testing.B) {
+	eng := &core.Engine{} // Choice-based streaming needs no training state
+	choice := core.Choice{Config: core.Config{Method: ReedSolomon, Param: 15}, Threads: 1}
+	const chunkSize = 256 << 10
+	data := make([]byte, 8*chunkSize) // 8 chunks
+	rand.New(rand.NewSource(16)).Read(data)
+
+	depths := []int{1, runtime.GOMAXPROCS(0)}
+	if depths[1] < 4 {
+		depths[1] = 4 // still exercise the concurrent machinery
+	}
+	for _, pl := range depths {
+		pl := pl
+		b.Run(fmt.Sprintf("encode/pipeline=%d", pl), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				w, err := eng.NewChunkWriterChoice(io.Discard, choice,
+					core.StreamOptions{ChunkSize: chunkSize, Pipeline: pl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := w.Write(data); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	var encoded bytes.Buffer
+	w, err := eng.NewChunkWriterChoice(&encoded, choice, core.StreamOptions{ChunkSize: chunkSize, Pipeline: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for _, pl := range depths {
+		pl := pl
+		b.Run(fmt.Sprintf("decode/pipeline=%d", pl), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				r := core.NewChunkReaderWith(bytes.NewReader(encoded.Bytes()), 1,
+					core.StreamOptions{Pipeline: pl})
+				n, err := io.Copy(io.Discard, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != int64(len(data)) {
+					b.Fatalf("decoded %d bytes, want %d", n, len(data))
+				}
+			}
 		})
 	}
 }

@@ -50,9 +50,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  arc encode -in FILE -out FILE [-mem FRAC] [-bw MBS] [-ecc NAME] [-errors-per-mb N] [-threads N]
-  arc decode -in FILE -out FILE [-threads N]
-  arc verify -in FILE [-threads N]
+  arc encode -in FILE -out FILE [-mem FRAC] [-bw MBS] [-ecc NAME] [-errors-per-mb N] [-threads N] [-chunk-kb N] [-pipeline N]
+  arc decode -in FILE -out FILE [-threads N] [-pipeline N]
+  arc verify -in FILE [-threads N] [-pipeline N]
   arc inspect -in FILE`)
 }
 
@@ -66,6 +66,7 @@ func cmdEncode(args []string) error {
 	errPerMB := fs.Float64("errors-per-mb", 0, "expected soft errors per MB to correct")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
 	chunkKB := fs.Int("chunk-kb", 0, "stream in chunks of this many KiB (0 = single container)")
+	pipeline := fs.Int("pipeline", 0, "chunks encoded concurrently (1 = sequential, 0 = auto)")
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 
 	if *in == "" || *out == "" {
@@ -91,7 +92,8 @@ func cmdEncode(args []string) error {
 	}
 	defer a.Close()
 	if *chunkKB > 0 {
-		choice, written, err := a.EncodeFile(*in, *out, *mem, *bw, res, *chunkKB<<10)
+		opts := arc.StreamOptions{ChunkSize: *chunkKB << 10, Pipeline: *pipeline}
+		choice, written, err := a.EncodeFileWith(*in, *out, *mem, *bw, res, opts)
 		if err != nil {
 			return err
 		}
@@ -124,6 +126,7 @@ func cmdDecode(args []string) error {
 	in := fs.String("in", "", "input file")
 	out := fs.String("out", "", "output file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
+	pipeline := fs.Int("pipeline", 0, "chunks decoded concurrently (1 = sequential, 0 = auto)")
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" || *out == "" {
 		return errors.New("decode: -in and -out are required")
@@ -131,7 +134,7 @@ func cmdDecode(args []string) error {
 	// The streaming reader handles both single containers and chunked
 	// streams; on uncorrectable damage, everything before the bad chunk
 	// has already been written (best effort), matching arc_decode.
-	rep, err := arc.DecodeFile(*in, *out, *threads)
+	rep, err := arc.DecodeFileWith(*in, *out, *threads, arc.StreamOptions{Pipeline: *pipeline})
 	if err != nil {
 		if errors.Is(err, ecc.ErrUncorrectable) {
 			return fmt.Errorf("uncorrectable damage detected (best-effort data written): %w", err)
@@ -193,6 +196,7 @@ func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	in := fs.String("in", "", "input file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
+	pipeline := fs.Int("pipeline", 0, "chunks verified concurrently (1 = sequential, 0 = auto)")
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" {
 		return errors.New("verify: -in is required")
@@ -202,7 +206,8 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	defer f.Close()
-	r := arc.NewReader(f, *threads)
+	r := arc.NewReaderWith(f, *threads, arc.StreamOptions{Pipeline: *pipeline})
+	defer r.Close()
 	_, cerr := io.Copy(io.Discard, r)
 	rep := r.Report()
 	fmt.Printf("chunks:    %d\n", rep.Chunks)

@@ -2,7 +2,8 @@ package arc
 
 // File-level convenience API: protect and recover whole files without
 // holding both the plain and encoded forms in memory at once (the
-// streaming chunk format bounds the working set to one chunk).
+// streaming chunk format bounds the working set to one chunk per
+// pipeline slot).
 
 import (
 	"fmt"
@@ -14,6 +15,12 @@ import (
 // Constraints follow Encode; chunkSize <= 0 selects the default.
 // It returns the configuration choice and the encoded size.
 func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunkSize int) (Choice, int64, error) {
+	return a.EncodeFileWith(src, dst, mem, bw, res, StreamOptions{ChunkSize: chunkSize})
+}
+
+// EncodeFileWith is EncodeFile with explicit stream options (chunk
+// size and encode pipelining).
+func (a *ARC) EncodeFileWith(src, dst string, mem, bw float64, res Resiliency, opts StreamOptions) (Choice, int64, error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return Choice{}, 0, err
@@ -23,12 +30,13 @@ func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunk
 	if err != nil {
 		return Choice{}, 0, err
 	}
-	w, err := a.NewWriter(out, mem, bw, res, chunkSize)
+	w, err := a.NewWriterWith(out, mem, bw, res, opts)
 	if err != nil {
 		_ = out.Close() // error path: the open error wins
 		return Choice{}, 0, err
 	}
 	if _, err := io.Copy(w, in); err != nil {
+		_ = w.Close()   // error path: join in-flight encodes
 		_ = out.Close() // error path: the copy error wins
 		return Choice{}, 0, fmt.Errorf("arc: encode %s: %w", src, err)
 	}
@@ -47,6 +55,12 @@ func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunk
 // over all chunks. Uncorrectable damage aborts with an error after
 // writing every chunk that preceded it.
 func DecodeFile(src, dst string, workers int) (StreamReport, error) {
+	return DecodeFileWith(src, dst, workers, StreamOptions{})
+}
+
+// DecodeFileWith is DecodeFile with explicit stream options (decode
+// pipelining / read-ahead).
+func DecodeFileWith(src, dst string, workers int, opts StreamOptions) (StreamReport, error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return StreamReport{}, err
@@ -56,7 +70,8 @@ func DecodeFile(src, dst string, workers int) (StreamReport, error) {
 	if err != nil {
 		return StreamReport{}, err
 	}
-	r := NewReader(in, workers)
+	r := NewReaderWith(in, workers, opts)
+	defer r.Close()
 	_, cerr := io.Copy(out, r)
 	if err := out.Close(); err != nil && cerr == nil {
 		cerr = err

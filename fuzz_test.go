@@ -151,3 +151,45 @@ func FuzzStreamReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamReaderPipelined drives the concurrent read-ahead path over
+// arbitrary bytes: same no-panic/no-hang invariant as FuzzStreamReader,
+// plus the pipeline must always shut down cleanly — both when a stream
+// is read to its terminal error and when it is abandoned via Close
+// after the first chunk.
+func FuzzStreamReaderPipelined(f *testing.F) {
+	eng, err := InitWithOptions(1, Options{CacheDir: "-", TrainSampleBytes: 16 << 10})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer eng.Close()
+	var buf bytes.Buffer
+	w, err := eng.NewWriterWith(&buf, AnyMem, AnyBW, AnyECC, StreamOptions{ChunkSize: 1024, Pipeline: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, _ = w.Write(bytes.Repeat([]byte{3}, 6000))
+	_ = w.Close()
+	f.Add(buf.Bytes(), true)
+	f.Add(buf.Bytes(), false)
+	f.Add([]byte{}, true)
+	mut := append([]byte(nil), buf.Bytes()...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut, true)
+	f.Fuzz(func(t *testing.T, data []byte, drain bool) {
+		if len(data) > 1<<20 {
+			return
+		}
+		r := NewReaderWith(bytes.NewReader(data), 1, StreamOptions{Pipeline: 4})
+		defer r.Close()
+		tmp := make([]byte, 4096)
+		for i := 0; i < 1<<12; i++ {
+			if _, err := r.Read(tmp); err != nil {
+				return
+			}
+			if !drain {
+				return // exercise Close-without-drain
+			}
+		}
+	})
+}

@@ -3,16 +3,98 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ecc"
+	"repro/internal/parallel"
 )
 
 // Streaming support: an ARC stream is a sequence of independent
 // containers ("chunks"). Each chunk is self-describing, so readers
 // need no side-band state, corrupted chunks fail independently, and
 // chunk boundaries bound the blast radius of unrecoverable damage.
+//
+// Chunk independence is also what makes the stream pipelinable: the
+// writer encodes up to Pipeline chunks concurrently and emits them
+// strictly in order, and the reader reads ahead up to Pipeline encoded
+// chunks and verifies/repairs them concurrently while Read consumes
+// repaired chunks in order. Encoding is deterministic and layout never
+// depends on worker count, so pipelined output is byte-identical to
+// the sequential (Pipeline = 1) path.
 
 // maxChunkPayload caps the EncLen a stream reader will allocate,
 // so a corrupted-but-CRC-colliding header cannot drive an OOM.
 const maxChunkPayload = 1 << 31
+
+// DefaultChunkSize is the ChunkWriter's default chunk payload size.
+const DefaultChunkSize = 4 << 20
+
+// StreamOptions tunes the chunked stream codec.
+type StreamOptions struct {
+	// ChunkSize is the plaintext payload bytes per chunk (<= 0 selects
+	// DefaultChunkSize).
+	ChunkSize int
+	// Pipeline bounds how many chunks may be encoded or decoded
+	// concurrently. 1 is strictly sequential (no extra goroutines,
+	// today's historical behaviour); <= 0 selects a default bounded by
+	// the worker budget. Output bytes are identical either way.
+	Pipeline int
+}
+
+// normalize applies the documented defaults. budget is the relevant
+// worker bound (engine threads on the write side, decode workers on
+// the read side); <= 0 falls back to GOMAXPROCS.
+func (o StreamOptions) normalize(budget int) StreamOptions {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = DefaultChunkSize
+	}
+	if o.Pipeline <= 0 {
+		if budget > 0 {
+			o.Pipeline = budget
+		} else {
+			o.Pipeline = runtime.GOMAXPROCS(0)
+		}
+	}
+	return o
+}
+
+// codecCache builds-and-caches ecc.Codes keyed by their build inputs.
+// Rebuilding a codec per chunk is wasteful (Reed-Solomon builds
+// matrices and CRC tables), and every chunk of a homogeneous stream
+// shares one header configuration. Codes are stateless and safe for
+// concurrent use, so one cache serves all pipeline workers.
+type codecCache struct {
+	mu     sync.Mutex
+	codes  map[codecKey]ecc.Code
+	builds int // build count, exposed for tests
+}
+
+type codecKey struct {
+	cfg     Config
+	devSize int
+	workers int
+}
+
+func (cc *codecCache) get(cfg Config, workers, devSize int) (ecc.Code, error) {
+	key := codecKey{cfg: cfg, devSize: devSize, workers: workers}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if code, ok := cc.codes[key]; ok {
+		return code, nil
+	}
+	code, err := cfg.BuildWithDeviceSize(workers, devSize)
+	if err != nil {
+		return nil, err
+	}
+	if cc.codes == nil {
+		cc.codes = make(map[codecKey]ecc.Code)
+	}
+	cc.codes[key] = code
+	cc.builds++
+	return code, nil
+}
 
 // ChunkWriter encodes fixed-size chunks of a byte stream with one
 // configuration choice and writes the containers to w.
@@ -22,31 +104,59 @@ type ChunkWriter struct {
 	choice    Choice
 	buf       []byte
 	chunkSize int
+	pipeline  int
+	closed    bool
 	err       error
-	written   int64
-}
+	written   atomic.Int64
+	codecs    codecCache
 
-// DefaultChunkSize is the ChunkWriter's default chunk payload size.
-const DefaultChunkSize = 4 << 20
+	// Pipelined state (nil/unused when pipeline == 1). The producer
+	// (Write/Close caller) submits full chunks; encoder workers protect
+	// them concurrently; the emitter goroutine writes encoded chunks to
+	// w strictly in submission order.
+	pipe     *parallel.Pipe[[]byte, []byte]
+	emitDone chan struct{}
+	emitErr  atomic.Value // error; first writer-side error wins
+}
 
 // NewChunkWriter creates a streaming encoder. chunkSize <= 0 selects
 // DefaultChunkSize. The configuration choice is made once, up front,
 // from the given constraints.
 func (e *Engine) NewChunkWriter(w io.Writer, mem, bw float64, res Resiliency, chunkSize int) (*ChunkWriter, error) {
+	return e.NewChunkWriterWith(w, mem, bw, res, StreamOptions{ChunkSize: chunkSize})
+}
+
+// NewChunkWriterWith is NewChunkWriter with explicit stream options.
+func (e *Engine) NewChunkWriterWith(w io.Writer, mem, bw float64, res Resiliency, opts StreamOptions) (*ChunkWriter, error) {
 	choice, err := e.Optimizer().Joint(mem, bw, res)
 	if err != nil {
 		return nil, err
 	}
-	if chunkSize <= 0 {
-		chunkSize = DefaultChunkSize
+	return e.NewChunkWriterChoice(w, choice, opts)
+}
+
+// NewChunkWriterChoice creates a streaming encoder with an explicit
+// optimizer choice, bypassing constraint optimization (the streaming
+// analog of EncodeWith). It needs no trained engine state.
+func (e *Engine) NewChunkWriterChoice(w io.Writer, choice Choice, opts StreamOptions) (*ChunkWriter, error) {
+	if _, err := choice.Config.Build(choice.Threads); err != nil {
+		return nil, err // reject invalid configurations up front
 	}
-	return &ChunkWriter{
+	opts = opts.normalize(e.maxThreads)
+	cw := &ChunkWriter{
 		eng:       e,
 		w:         w,
 		choice:    choice,
-		buf:       make([]byte, 0, chunkSize),
-		chunkSize: chunkSize,
-	}, nil
+		buf:       make([]byte, 0, opts.ChunkSize),
+		chunkSize: opts.ChunkSize,
+		pipeline:  opts.Pipeline,
+	}
+	if cw.pipeline > 1 {
+		cw.pipe = parallel.NewPipe(cw.pipeline, cw.pipeline, cw.encodeChunk)
+		cw.emitDone = make(chan struct{})
+		go cw.emit()
+	}
+	return cw, nil
 }
 
 // Choice returns the configuration the writer encodes with.
@@ -76,49 +186,166 @@ func (cw *ChunkWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// flush encodes and writes the buffered chunk.
+// encodeChunk protects one chunk payload and wraps it in a container.
+// It is the pipeline worker body, so it must be safe to call
+// concurrently; byte layout matches Engine.EncodeWith exactly.
+func (cw *ChunkWriter) encodeChunk(data []byte) ([]byte, error) {
+	devSize := cw.choice.Config.DeviceSizeFor(len(data))
+	code, err := cw.codecs.get(cw.choice.Config, cw.choice.Threads, devSize)
+	if err != nil {
+		return nil, err
+	}
+	payload := code.Encode(data)
+	h := header{
+		Method:  cw.choice.Config.Method,
+		Param:   cw.choice.Config.Param,
+		DevSize: devSize,
+		OrigLen: len(data),
+		EncLen:  len(payload),
+	}
+	return wrap(h, payload), nil
+}
+
+// emit is the pipelined writer's consumer goroutine: it receives
+// encoded chunks in submission order and writes them out. On the first
+// error it aborts the pipe (cancelling in-flight encodes) and keeps
+// draining so the producer is never stuck in Submit.
+func (cw *ChunkWriter) emit() {
+	defer close(cw.emitDone)
+	for {
+		enc, ok, err := cw.pipe.Next()
+		if !ok {
+			return
+		}
+		if cw.emitErr.Load() != nil {
+			continue // draining after failure
+		}
+		if err == nil {
+			_, werr := cw.w.Write(enc)
+			err = werr
+		}
+		if err != nil {
+			cw.emitErr.Store(err)
+			cw.pipe.Abort()
+			continue
+		}
+		cw.written.Add(int64(len(enc)))
+	}
+}
+
+// firstErr surfaces the pipeline's first writer-side error, if any.
+func (cw *ChunkWriter) firstErr() error {
+	if err, _ := cw.emitErr.Load().(error); err != nil {
+		return err
+	}
+	return nil
+}
+
+// flush encodes and emits the buffered chunk.
 func (cw *ChunkWriter) flush() error {
 	if len(cw.buf) == 0 {
 		return nil
 	}
-	enc, err := cw.eng.EncodeWith(cw.buf, cw.choice)
-	if err != nil {
+	if cw.pipe == nil {
+		enc, err := cw.encodeChunk(cw.buf)
+		if err != nil {
+			cw.err = err
+			return err
+		}
+		if _, err := cw.w.Write(enc); err != nil {
+			cw.err = err
+			return err
+		}
+		cw.written.Add(int64(len(enc)))
+		cw.buf = cw.buf[:0]
+		return nil
+	}
+	if err := cw.firstErr(); err != nil {
 		cw.err = err
 		return err
 	}
-	if _, err := cw.w.Write(enc.Encoded); err != nil {
-		cw.err = err
-		return err
+	// Hand the buffer to the pipeline (blocking while the window is
+	// full) and start a fresh one; the chunk now belongs to a worker.
+	if cw.pipe.Submit(cw.buf) != nil {
+		if err := cw.firstErr(); err != nil {
+			cw.err = err
+			return err
+		}
+		cw.err = parallel.ErrPipeAborted
+		return cw.err
 	}
-	cw.written += int64(len(enc.Encoded))
-	cw.buf = cw.buf[:0]
+	cw.buf = make([]byte, 0, cw.chunkSize)
 	return nil
 }
 
-// Close flushes the final (possibly short) chunk. It does not close
-// the underlying writer.
+// Close flushes the final (possibly short) chunk and, in pipelined
+// mode, waits for every in-flight chunk to be encoded and emitted (or
+// cancelled, on error). It never leaks goroutines, and it does not
+// close the underlying writer. Close is idempotent in effect: second
+// and later calls report the writer as closed.
 func (cw *ChunkWriter) Close() error {
-	if cw.err != nil {
+	if cw.closed {
 		return cw.err
 	}
-	if err := cw.flush(); err != nil {
+	cw.closed = true
+	var err error
+	if cw.err != nil {
+		err = cw.err
+	} else {
+		err = cw.flush()
+	}
+	if cw.pipe != nil {
+		cw.pipe.Close()
+		<-cw.emitDone
+		cw.pipe.Wait()
+		if err == nil {
+			err = cw.firstErr()
+		}
+	}
+	if err != nil {
+		cw.err = err
 		return err
 	}
 	cw.err = fmt.Errorf("core: chunk writer is closed")
 	return nil
 }
 
-// BytesWritten returns the encoded bytes emitted so far.
-func (cw *ChunkWriter) BytesWritten() int64 { return cw.written }
+// BytesWritten returns the encoded bytes emitted so far. In pipelined
+// mode chunks still in flight are not yet counted.
+func (cw *ChunkWriter) BytesWritten() int64 { return cw.written.Load() }
 
 // ChunkReader decodes a stream of containers, verifying and repairing
 // each chunk as it goes.
 type ChunkReader struct {
-	r       io.Reader
-	workers int
-	cur     []byte
-	err     error
-	report  Report
+	r        io.Reader
+	workers  int
+	pipeline int
+	cur      []byte
+	err      error
+	closed   bool
+	report   Report
+	codecs   codecCache
+
+	// Pipelined state (nil/unused when pipeline == 1). The producer
+	// goroutine reads encoded chunks off r sequentially and submits
+	// them; decode workers verify/repair concurrently; Read drains
+	// repaired chunks in order.
+	pipe     *parallel.Pipe[encChunk, decChunk]
+	started  bool
+	prodDone chan struct{}
+	prodErr  error // read-side terminal error; valid once prodDone is closed
+}
+
+// encChunk is one still-encoded chunk handed to a decode worker.
+type encChunk struct {
+	h       header
+	payload []byte
+}
+
+// decChunk is one decoded chunk plus its repair statistics.
+type decChunk struct {
+	data []byte
+	rep  ecc.Report
 }
 
 // Report aggregates repair statistics over all chunks read.
@@ -131,20 +358,30 @@ type Report struct {
 
 // NewChunkReader creates a streaming decoder over r.
 func NewChunkReader(r io.Reader, workers int) *ChunkReader {
-	return &ChunkReader{r: r, workers: workers}
+	return NewChunkReaderWith(r, workers, StreamOptions{})
+}
+
+// NewChunkReaderWith is NewChunkReader with explicit stream options
+// (ChunkSize is ignored on the read side: chunks are self-describing).
+func NewChunkReaderWith(r io.Reader, workers int, opts StreamOptions) *ChunkReader {
+	opts = opts.normalize(workers)
+	return &ChunkReader{r: r, workers: workers, pipeline: opts.Pipeline}
 }
 
 // Report returns the accumulated repair statistics.
 func (cr *ChunkReader) Report() Report { return cr.report }
 
-// Read implements io.Reader.
+// Read implements io.Reader. The first error in chunk order wins:
+// every chunk before it is delivered intact, and the pipeline shuts
+// down without leaking goroutines.
 func (cr *ChunkReader) Read(p []byte) (int, error) {
 	for len(cr.cur) == 0 {
 		if cr.err != nil {
 			return 0, cr.err
 		}
-		if err := cr.nextChunk(); err != nil {
+		if err := cr.next(); err != nil {
 			cr.err = err
+			cr.shutdown()
 			return 0, err
 		}
 	}
@@ -153,39 +390,137 @@ func (cr *ChunkReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// nextChunk reads and decodes one container.
-func (cr *ChunkReader) nextChunk() error {
+// Close releases the reader without requiring a full drain: in-flight
+// decodes are cancelled and joined. It does not close the underlying
+// reader. Reads after Close fail.
+func (cr *ChunkReader) Close() error {
+	if cr.closed {
+		return nil
+	}
+	cr.closed = true
+	cr.cur = nil
+	cr.shutdown()
+	if cr.err == nil {
+		cr.err = fmt.Errorf("core: chunk reader is closed")
+	}
+	return nil
+}
+
+// next produces the next decoded chunk into cr.cur.
+func (cr *ChunkReader) next() error {
+	if cr.pipeline <= 1 {
+		return cr.nextChunk()
+	}
+	if !cr.started {
+		cr.started = true
+		cr.pipe = parallel.NewPipe(cr.pipeline, cr.pipeline, cr.decodeChunk)
+		cr.prodDone = make(chan struct{})
+		go cr.produce()
+	}
+	out, ok, err := cr.pipe.Next()
+	if !ok {
+		<-cr.prodDone
+		return cr.prodErr
+	}
+	cr.report.Chunks++
+	cr.report.DetectedBlocks += out.rep.DetectedBlocks
+	cr.report.CorrectedBlocks += out.rep.CorrectedBlocks
+	cr.report.CorrectedBits += out.rep.CorrectedBits
+	if err != nil {
+		return fmt.Errorf("chunk %d: %w", cr.report.Chunks, err)
+	}
+	cr.cur = out.data
+	return nil
+}
+
+// produce reads encoded chunks sequentially and feeds the decode
+// pipeline until EOF, a malformed container, or an abort.
+func (cr *ChunkReader) produce() {
+	defer close(cr.prodDone)
+	defer cr.pipe.Close()
+	for {
+		c, err := cr.readChunk()
+		if err != nil {
+			cr.prodErr = err
+			return
+		}
+		if cr.pipe.Submit(c) != nil {
+			cr.prodErr = parallel.ErrPipeAborted
+			return
+		}
+	}
+}
+
+// decodeChunk is the decode-worker body: verify and repair one chunk.
+// An ecc error (e.g. uncorrectable damage) is returned alongside the
+// best-effort statistics.
+func (cr *ChunkReader) decodeChunk(c encChunk) (decChunk, error) {
+	code, err := cr.codecs.get(c.h.config(), cr.workers, c.h.DevSize)
+	if err != nil {
+		return decChunk{}, fmt.Errorf("%w: %v", ErrContainer, err)
+	}
+	data, rep, derr := code.Decode(c.payload, c.h.OrigLen)
+	return decChunk{data: data, rep: rep}, derr
+}
+
+// readChunk reads one encoded container (header + payload) off the
+// underlying reader. io.EOF at a chunk boundary is the clean end.
+func (cr *ChunkReader) readChunk() (encChunk, error) {
 	hdr := make([]byte, ContainerOverheadBytes)
 	if _, err := io.ReadFull(cr.r, hdr); err != nil {
 		if err == io.EOF {
-			return io.EOF // clean end at a chunk boundary
+			return encChunk{}, io.EOF // clean end at a chunk boundary
 		}
-		return fmt.Errorf("%w: truncated chunk header: %v", ErrContainer, err)
+		return encChunk{}, fmt.Errorf("%w: truncated chunk header: %v", ErrContainer, err)
 	}
 	h, err := unmarshalHeader(hdr)
 	if err != nil {
-		return err
+		return encChunk{}, err
 	}
 	if h.EncLen > maxChunkPayload {
-		return fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
+		return encChunk{}, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
 	}
 	payload := make([]byte, h.EncLen)
 	if _, err := io.ReadFull(cr.r, payload); err != nil {
-		return fmt.Errorf("%w: truncated chunk payload: %v", ErrContainer, err)
+		return encChunk{}, fmt.Errorf("%w: truncated chunk payload: %v", ErrContainer, err)
 	}
-	code, err := h.config().BuildWithDeviceSize(cr.workers, h.DevSize)
+	return encChunk{h: h, payload: payload}, nil
+}
+
+// shutdown cancels and joins the pipelined machinery; safe to call on
+// a sequential or never-started reader.
+func (cr *ChunkReader) shutdown() {
+	if cr.pipe == nil {
+		return
+	}
+	cr.pipe.Abort()
+	// Drain deliveries so a producer blocked in Submit can exit, then
+	// join producer and workers.
+	for {
+		if _, ok, _ := cr.pipe.Next(); !ok {
+			break
+		}
+	}
+	<-cr.prodDone
+	cr.pipe.Wait()
+	cr.pipe = nil
+}
+
+// nextChunk reads and decodes one container sequentially.
+func (cr *ChunkReader) nextChunk() error {
+	c, err := cr.readChunk()
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrContainer, err)
+		return err
 	}
-	data, rep, derr := code.Decode(payload, h.OrigLen)
+	out, derr := cr.decodeChunk(c)
 	cr.report.Chunks++
-	cr.report.DetectedBlocks += rep.DetectedBlocks
-	cr.report.CorrectedBlocks += rep.CorrectedBlocks
-	cr.report.CorrectedBits += rep.CorrectedBits
+	cr.report.DetectedBlocks += out.rep.DetectedBlocks
+	cr.report.CorrectedBlocks += out.rep.CorrectedBlocks
+	cr.report.CorrectedBits += out.rep.CorrectedBits
 	if derr != nil {
 		return fmt.Errorf("chunk %d: %w", cr.report.Chunks, derr)
 	}
-	cr.cur = data
+	cr.cur = out.data
 	return nil
 }
 

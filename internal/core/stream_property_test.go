@@ -1,0 +1,173 @@
+package core
+
+// Property-based round-trip tests for the chunk stream: a
+// generator-driven grid over ECC configuration × payload/chunk
+// geometry × pipeline depth asserting that decode(encode(x)) == x
+// byte-for-byte, that pipelined and sequential encoders emit identical
+// streams, and that error injection within each code's correction
+// budget always repairs.
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+// propertyConfigs spans every ECC family in the search space,
+// including several Reed-Solomon strengths and the interleaved
+// extension method.
+var propertyConfigs = []Config{
+	{ecc.MethodParity, 1},
+	{ecc.MethodParity, 8},
+	{ecc.MethodHamming, 8},
+	{ecc.MethodHamming, 64},
+	{ecc.MethodSECDED, 8},
+	{ecc.MethodSECDED, 64},
+	{ecc.MethodReedSolomon, 2},
+	{ecc.MethodReedSolomon, 15},
+	{ecc.MethodReedSolomon, 103},
+	{ecc.MethodInterleavedSECDED, 64},
+}
+
+// propertyGeometries exercises the chunking edge cases: a 1-byte chunk
+// size, a payload that is an exact chunk multiple, a final partial
+// chunk, a sub-chunk payload, and a 1-byte payload.
+var propertyGeometries = []struct {
+	name      string
+	chunkSize int
+	payload   int
+}{
+	{"chunk1B", 1, 48},
+	{"exactMultiple", 1 << 10, 4 << 10},
+	{"finalPartial", 1 << 10, 4<<10 + 37},
+	{"subChunk", 1 << 10, 333},
+	{"payload1B", 1 << 10, 1},
+	{"empty", 1 << 10, 0},
+}
+
+func TestStreamRoundTripPropertyGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x57EA))
+	for _, cfg := range propertyConfigs {
+		for _, g := range propertyGeometries {
+			data := make([]byte, g.payload)
+			rng.Read(data)
+			choice := Choice{Config: cfg, Threads: 2}
+			var sequential []byte
+			for _, pl := range []int{1, 4} {
+				opts := StreamOptions{ChunkSize: g.chunkSize, Pipeline: pl}
+				enc := encodeStream(t, choice, opts, data)
+				if pl == 1 {
+					sequential = enc
+				} else if !bytes.Equal(enc, sequential) {
+					t.Fatalf("%s/%s: pipeline=%d stream differs from sequential", cfg, g.name, pl)
+				}
+				cr := NewChunkReaderWith(bytes.NewReader(enc), 2, StreamOptions{Pipeline: pl})
+				got, err := io.ReadAll(cr)
+				if err != nil {
+					t.Fatalf("%s/%s/pipeline=%d: decode: %v", cfg, g.name, pl, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("%s/%s/pipeline=%d: decode(encode(x)) != x", cfg, g.name, pl)
+				}
+				wantChunks := (g.payload + g.chunkSize - 1) / g.chunkSize
+				if cr.Report().Chunks != wantChunks {
+					t.Fatalf("%s/%s/pipeline=%d: %d chunks, want %d",
+						cfg, g.name, pl, cr.Report().Chunks, wantChunks)
+				}
+			}
+		}
+	}
+}
+
+// correctionBudget returns how many bit flips may be injected per
+// chunk payload with a repair guarantee, and 0 for detect-only codes.
+// One flip is always within budget for the sparse-correcting codes
+// (one flip can touch at most one codeword). For Reed-Solomon with m
+// code devices, any f <= m flips hit at most f distinct devices per
+// stripe, all CRC-locatable, so f erasures always rebuild.
+func correctionBudget(cfg Config) int {
+	switch cfg.Method {
+	case ecc.MethodHamming, ecc.MethodSECDED, ecc.MethodInterleavedSECDED:
+		return 1
+	case ecc.MethodReedSolomon:
+		if cfg.Param < 4 {
+			return cfg.Param
+		}
+		return 4
+	default:
+		return 0
+	}
+}
+
+func TestStreamInjectedFlipsWithinBudgetAlwaysRepair(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF11B))
+	data := make([]byte, 12<<10+55)
+	rng.Read(data)
+	for _, cfg := range propertyConfigs {
+		budget := correctionBudget(cfg)
+		if budget == 0 {
+			continue // parity detects only; covered below
+		}
+		choice := Choice{Config: cfg, Threads: 1}
+		clean := encodeStream(t, choice, StreamOptions{ChunkSize: 2 << 10, Pipeline: 1}, data)
+		infos, err := InspectStream(bytes.NewReader(clean))
+		if err != nil {
+			t.Fatalf("%s: inspect: %v", cfg, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			enc := append([]byte(nil), clean...)
+			// Inject up to `budget` flips into every chunk's payload
+			// (never the replicated header — that has its own scheme).
+			off := 0
+			for _, ci := range infos {
+				payload := enc[off+ContainerOverheadBytes : off+ContainerOverheadBytes+ci.EncLen]
+				for f := 0; f < budget; f++ {
+					bit := rng.Intn(len(payload) * 8)
+					payload[bit/8] ^= 0x80 >> (bit % 8)
+				}
+				off += ContainerOverheadBytes + ci.EncLen
+			}
+			for _, pl := range []int{1, 4} {
+				cr := NewChunkReaderWith(bytes.NewReader(enc), 1, StreamOptions{Pipeline: pl})
+				got, rerr := io.ReadAll(cr)
+				if rerr != nil {
+					t.Fatalf("%s/trial=%d/pipeline=%d: %d flips/chunk must repair, got %v",
+						cfg, trial, pl, budget, rerr)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("%s/trial=%d/pipeline=%d: silent corruption after repair", cfg, trial, pl)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamParityDetectsButNeverLies(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xDE7))
+	data := make([]byte, 8<<10)
+	rng.Read(data)
+	choice := Choice{Config: Config{Method: ecc.MethodParity, Param: 8}, Threads: 1}
+	clean := encodeStream(t, choice, StreamOptions{ChunkSize: 2 << 10, Pipeline: 1}, data)
+	for trial := 0; trial < 5; trial++ {
+		enc := append([]byte(nil), clean...)
+		// One flip somewhere in some chunk's payload region.
+		chunk := rng.Intn(4)
+		chunkLen := len(enc) / 4
+		bit := rng.Intn((chunkLen - ContainerOverheadBytes) * 8)
+		enc[chunk*chunkLen+ContainerOverheadBytes+bit/8] ^= 0x80 >> (bit % 8)
+		for _, pl := range []int{1, 4} {
+			cr := NewChunkReaderWith(bytes.NewReader(enc), 1, StreamOptions{Pipeline: pl})
+			got, err := io.ReadAll(cr)
+			if err == nil {
+				t.Fatalf("trial %d/pipeline=%d: parity silently accepted a flipped payload", trial, pl)
+			}
+			// Everything before the damaged chunk must be intact.
+			if want := chunk * (2 << 10); len(got) < want || !bytes.Equal(got[:want], data[:want]) {
+				t.Fatalf("trial %d/pipeline=%d: prefix before damage not delivered intact", trial, pl)
+			}
+		}
+	}
+}

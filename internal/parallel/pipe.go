@@ -1,0 +1,147 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrPipeAborted reports that a Pipe was aborted: the item was not (or
+// will not be) processed.
+var ErrPipeAborted = errors.New("parallel: pipeline aborted")
+
+// Pipe is a bounded, order-preserving parallel pipeline: Submit
+// accepts items one at a time, a fixed pool of workers applies fn to
+// them concurrently, and Next yields results strictly in submission
+// order. At most `window` items are in flight, so memory stays bounded
+// and a slow consumer backpressures the producer.
+//
+// Contract: exactly one goroutine calls Submit and Close (the
+// producer), and exactly one goroutine calls Next (the consumer); they
+// may be the same or different goroutines. Abort and Wait may be
+// called from anywhere. The shutdown sequence that never leaks is:
+// producer calls Close after its last Submit; consumer drains Next
+// until ok == false; anyone calls Wait. Abort unblocks a producer
+// stuck in Submit and makes workers skip remaining items, but the
+// drain-then-Wait sequence is still required.
+type Pipe[I, O any] struct {
+	fn func(I) (O, error)
+
+	// jobs feeds the workers; pending holds the same jobs in
+	// submission order for the consumer. Both have capacity `window`,
+	// and every job enters pending first, so neither send can block
+	// once the pending send has gone through.
+	jobs    chan *pipeJob[I, O]
+	pending chan *pipeJob[I, O]
+	quit    chan struct{}
+
+	aborted   atomic.Bool
+	workers   sync.WaitGroup
+	closeOnce sync.Once
+	abortOnce sync.Once
+}
+
+type pipeJob[I, O any] struct {
+	in   I
+	out  O
+	err  error
+	done chan struct{}
+}
+
+// NewPipe starts a pipeline with the given worker count (<= 0 means
+// GOMAXPROCS) and in-flight window (raised to the worker count when
+// smaller, so no worker is permanently idle).
+func NewPipe[I, O any](workers, window int, fn func(I) (O, error)) *Pipe[I, O] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if window < workers {
+		window = workers
+	}
+	p := &Pipe[I, O]{
+		fn:      fn,
+		jobs:    make(chan *pipeJob[I, O], window),
+		pending: make(chan *pipeJob[I, O], window),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		p.workers.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pipe[I, O]) worker() {
+	defer p.workers.Done()
+	for j := range p.jobs {
+		if p.aborted.Load() {
+			j.err = ErrPipeAborted
+		} else {
+			j.out, j.err = p.fn(j.in)
+		}
+		close(j.done)
+	}
+}
+
+// Submit enqueues one item, blocking while the in-flight window is
+// full. It returns ErrPipeAborted (without enqueueing) once the pipe
+// has been aborted.
+func (p *Pipe[I, O]) Submit(in I) error {
+	j := &pipeJob[I, O]{in: in, done: make(chan struct{})}
+	select {
+	case p.pending <- j:
+	case <-p.quit:
+		return ErrPipeAborted
+	}
+	select {
+	case p.jobs <- j:
+	case <-p.quit:
+		// The job is already visible to the consumer, so it must be
+		// completed here: no worker is obliged to pick it up anymore.
+		j.err = ErrPipeAborted
+		close(j.done)
+	}
+	return nil
+}
+
+// Close declares the end of input. The consumer can keep calling Next
+// until it has drained every submitted item. Close is idempotent; it
+// must not race with Submit (producer-only, like Submit itself).
+func (p *Pipe[I, O]) Close() {
+	p.closeOnce.Do(func() {
+		close(p.pending)
+		close(p.jobs)
+	})
+}
+
+// Next returns the next result in submission order, blocking until it
+// is ready. ok == false means the pipe was closed and fully drained.
+// A per-item error (including ErrPipeAborted for items cancelled by
+// Abort) is returned alongside the item's output.
+func (p *Pipe[I, O]) Next() (out O, ok bool, err error) {
+	j, ok := <-p.pending
+	if !ok {
+		var zero O
+		return zero, false, nil
+	}
+	<-j.done
+	return j.out, true, j.err
+}
+
+// Abort cancels the pipeline: a blocked or future Submit fails with
+// ErrPipeAborted and workers skip items they have not started. Items
+// already being processed run to completion (fn is never interrupted
+// mid-call). Abort is idempotent and safe from any goroutine.
+func (p *Pipe[I, O]) Abort() {
+	p.abortOnce.Do(func() {
+		p.aborted.Store(true)
+		close(p.quit)
+	})
+}
+
+// Wait joins the worker goroutines. It returns once Close has been
+// called and every worker has exited; call it after the drain.
+func (p *Pipe[I, O]) Wait() {
+	p.workers.Wait()
+}

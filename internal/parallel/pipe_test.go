@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPipePreservesOrder(t *testing.T) {
+	base := runtime.NumGoroutine()
+	// Workers that finish out of order (later items are faster) must
+	// still deliver in submission order.
+	p := NewPipe(4, 4, func(i int) (int, error) {
+		time.Sleep(time.Duration(50-i) * time.Microsecond)
+		return i * i, nil
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := p.Submit(i); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+		p.Close()
+	}()
+	for i := 0; i < 50; i++ {
+		out, ok, err := p.Next()
+		if !ok || err != nil {
+			t.Fatalf("next %d: ok=%v err=%v", i, ok, err)
+		}
+		if out != i*i {
+			t.Fatalf("out of order: got %d at position %d, want %d", out, i, i*i)
+		}
+	}
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("Next after drain must report done")
+	}
+	<-done
+	p.Wait()
+	if !goroutinesSettleTo(base) {
+		t.Fatalf("goroutines leaked: %d live, started with %d", runtime.NumGoroutine(), base)
+	}
+}
+
+func TestPipeCarriesPerItemErrors(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	p := NewPipe(2, 2, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 6; i++ {
+			if err := p.Submit(i); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+		p.Close()
+	}()
+	for i := 0; i < 6; i++ {
+		out, ok, err := p.Next()
+		if !ok {
+			t.Fatal("pipe ended early")
+		}
+		if i == 3 {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("item 3: err = %v, want sentinel", err)
+			}
+			continue
+		}
+		if err != nil || out != i {
+			t.Fatalf("item %d: out=%d err=%v", i, out, err)
+		}
+	}
+	<-done
+	p.Wait()
+}
+
+func TestPipeAbortUnblocksSubmit(t *testing.T) {
+	base := runtime.NumGoroutine()
+	block := make(chan struct{})
+	p := NewPipe(1, 1, func(i int) (int, error) {
+		<-block
+		return i, nil
+	})
+	submitted := make(chan error, 1)
+	go func() {
+		var err error
+		// The window is 1, so one of these must block until Abort.
+		for i := 0; i < 8 && err == nil; i++ {
+			err = p.Submit(i)
+		}
+		submitted <- err
+		p.Close()
+	}()
+	time.Sleep(20 * time.Millisecond) // let the producer hit the full window
+	p.Abort()
+	close(block)
+	if err := <-submitted; !errors.Is(err, ErrPipeAborted) {
+		t.Fatalf("blocked Submit after Abort = %v, want ErrPipeAborted", err)
+	}
+	// Drain: every submitted job must still complete (possibly with
+	// ErrPipeAborted), and the pipe must then be clean.
+	for {
+		_, ok, _ := p.Next()
+		if !ok {
+			break
+		}
+	}
+	p.Wait()
+	if !goroutinesSettleTo(base) {
+		t.Fatalf("goroutines leaked: %d live, started with %d", runtime.NumGoroutine(), base)
+	}
+}
+
+func TestPipeAbortCancelsUnstartedWork(t *testing.T) {
+	var ran atomic.Int64
+	p := NewPipe(1, 8, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			// Give the producer time to fill the window behind us.
+			time.Sleep(50 * time.Millisecond)
+		}
+		return i, nil
+	})
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(i); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	p.Abort()
+	p.Close()
+	aborted := 0
+	for {
+		_, ok, err := p.Next()
+		if !ok {
+			break
+		}
+		if errors.Is(err, ErrPipeAborted) {
+			aborted++
+		}
+	}
+	p.Wait()
+	if aborted == 0 {
+		t.Fatal("abort cancelled no queued work")
+	}
+	if got := ran.Load(); got+int64(aborted) != 8 {
+		t.Fatalf("ran %d + aborted %d != 8 submitted", got, aborted)
+	}
+}
+
+func TestPipeSingleWorkerDefaultsAndZeroItems(t *testing.T) {
+	p := NewPipe(0, 0, func(s string) (string, error) { return s, nil })
+	p.Close()
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("empty closed pipe must be done")
+	}
+	p.Wait()
+}
+
+func TestPipeStressLeakFree(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		p := NewPipe(4, 8, func(i int) (string, error) {
+			return fmt.Sprint(i), nil
+		})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 100; i++ {
+				if p.Submit(i) != nil {
+					break
+				}
+			}
+			p.Close()
+		}()
+		n := 0
+		for {
+			_, ok, _ := p.Next()
+			if !ok {
+				break
+			}
+			n++
+			if n == 30 && iter%2 == 1 {
+				p.Abort() // abandon mid-stream every other iteration
+			}
+		}
+		<-done
+		p.Wait()
+	}
+	if !goroutinesSettleTo(base) {
+		t.Fatalf("goroutines leaked: %d live, started with %d", runtime.NumGoroutine(), base)
+	}
+}

@@ -5,6 +5,12 @@ package arc
 // of independent self-describing chunks, so damage in one chunk never
 // prevents later chunks from decoding, and a reader needs nothing but
 // the stream itself.
+//
+// Chunk independence also makes the stream pipelinable: with a
+// Pipeline of n, up to n chunks are encoded (or verified/repaired)
+// concurrently while bytes are still emitted/consumed strictly in
+// order. Output is byte-identical at every pipeline setting; see
+// docs/STREAMING.md for the knob's semantics and guarantees.
 
 import (
 	"io"
@@ -15,9 +21,16 @@ import (
 // StreamReport aggregates repair statistics over a streamed decode.
 type StreamReport = core.Report
 
+// StreamOptions tunes chunked streaming: ChunkSize is the plaintext
+// bytes per chunk (<= 0 selects the 4 MiB default) and Pipeline bounds
+// how many chunks are processed concurrently (1 = strictly sequential,
+// <= 0 = bounded by the worker budget).
+type StreamOptions = core.StreamOptions
+
 // Writer is a streaming ARC encoder. Bytes written are buffered into
 // chunks, each protected with the configuration chosen at creation,
-// and emitted to the underlying writer. Close flushes the final chunk.
+// and emitted to the underlying writer. Close flushes the final chunk
+// and, when pipelined, joins every in-flight encode.
 type Writer struct {
 	cw *core.ChunkWriter
 }
@@ -25,7 +38,23 @@ type Writer struct {
 // NewWriter creates a streaming encoder over w under the usual three
 // constraints. chunkSize <= 0 selects the 4 MiB default.
 func (a *ARC) NewWriter(w io.Writer, mem, bw float64, res Resiliency, chunkSize int) (*Writer, error) {
-	cw, err := a.eng.NewChunkWriter(w, mem, bw, res, chunkSize)
+	return a.NewWriterWith(w, mem, bw, res, StreamOptions{ChunkSize: chunkSize})
+}
+
+// NewWriterWith is NewWriter with explicit stream options (chunk size
+// and encode pipelining).
+func (a *ARC) NewWriterWith(w io.Writer, mem, bw float64, res Resiliency, opts StreamOptions) (*Writer, error) {
+	cw, err := a.eng.NewChunkWriterWith(w, mem, bw, res, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{cw: cw}, nil
+}
+
+// NewWriterChoice creates a streaming encoder with an explicit
+// optimizer choice — the streaming analog of EncodeWith.
+func (a *ARC) NewWriterChoice(w io.Writer, c Choice, opts StreamOptions) (*Writer, error) {
+	cw, err := a.eng.NewChunkWriterChoice(w, c, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -35,8 +64,8 @@ func (a *ARC) NewWriter(w io.Writer, mem, bw float64, res Resiliency, chunkSize 
 // Write implements io.Writer.
 func (w *Writer) Write(p []byte) (int, error) { return w.cw.Write(p) }
 
-// Close flushes the final chunk. It does not close the underlying
-// writer.
+// Close flushes the final chunk and joins any in-flight encodes. It
+// does not close the underlying writer.
 func (w *Writer) Close() error { return w.cw.Close() }
 
 // Choice returns the configuration the stream encodes with.
@@ -56,11 +85,24 @@ type Reader struct {
 // NewReader creates a streaming decoder over r. workers bounds the
 // per-chunk decode parallelism (AnyThreads = all CPUs).
 func NewReader(r io.Reader, workers int) *Reader {
-	return &Reader{cr: core.NewChunkReader(r, workers)}
+	return NewReaderWith(r, workers, StreamOptions{})
+}
+
+// NewReaderWith is NewReader with explicit stream options: Pipeline
+// bounds how many chunks are read ahead and verified/repaired
+// concurrently while Read consumes repaired chunks in order.
+func NewReaderWith(r io.Reader, workers int, opts StreamOptions) *Reader {
+	return &Reader{cr: core.NewChunkReaderWith(r, workers, opts)}
 }
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) { return r.cr.Read(p) }
+
+// Close releases the reader without requiring a full drain: in-flight
+// chunk decodes are cancelled and joined. Reading the stream to its
+// terminal error (or EOF) also releases everything, but callers that
+// may abandon a stream early should defer Close.
+func (r *Reader) Close() error { return r.cr.Close() }
 
 // Report returns the accumulated repair statistics.
 func (r *Reader) Report() StreamReport { return r.cr.Report() }

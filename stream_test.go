@@ -191,6 +191,77 @@ func TestStreamChoiceExposed(t *testing.T) {
 	_ = w.Close()
 }
 
+func TestStreamPipelinedMatchesSequential(t *testing.T) {
+	a := initTest(t, 2)
+	data := make([]byte, 150<<10+19)
+	rand.New(rand.NewSource(80)).Read(data)
+
+	encode := func(pipeline int) []byte {
+		var buf bytes.Buffer
+		w, err := a.NewWriterWith(&buf, 0.2, AnyBW, AnyECC,
+			StreamOptions{ChunkSize: 16 << 10, Pipeline: pipeline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	sequential := encode(1)
+	pipelined := encode(4)
+	if !bytes.Equal(sequential, pipelined) {
+		t.Fatal("pipelined encode is not byte-identical to sequential")
+	}
+
+	r := NewReaderWith(bytes.NewReader(pipelined), 1, StreamOptions{Pipeline: 4})
+	defer r.Close()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pipelined stream round trip mismatch")
+	}
+	if rep := r.Report(); rep.Chunks != 10 { // ceil((150K+19)/16K)
+		t.Fatalf("read %d chunks, want 10", rep.Chunks)
+	}
+}
+
+func TestStreamPipelinedReaderCloseEarly(t *testing.T) {
+	a := initTest(t, 1)
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(81)).Read(data)
+	var encoded bytes.Buffer
+	w, err := a.NewWriter(&encoded, AnyMem, AnyBW, AnyECC, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReaderWith(bytes.NewReader(encoded.Bytes()), 1, StreamOptions{Pipeline: 4})
+	head := make([]byte, 512)
+	if _, err := io.ReadFull(r, head); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(head, data[:512]) {
+		t.Fatal("head mismatch")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(head); err == nil {
+		t.Fatal("read after Close must fail")
+	}
+}
+
 func TestInspectStream(t *testing.T) {
 	a := initTest(t, 1)
 	data := make([]byte, 100<<10)

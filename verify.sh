@@ -33,8 +33,25 @@ fi
 echo "== go test -race =="
 go test -race ./...
 
+echo "== stream bench (recorded to BENCH_stream.json) =="
+go test -run '^$' -bench 'BenchmarkStreamPipelined' -benchtime=2s -count=1 . | tee /tmp/arc_bench_stream.txt
+awk -v cores="$(nproc)" '
+    BEGIN {
+        print "{"
+        printf "  \"host_cores\": %d,\n", cores
+        print "  \"note\": \"pipeline>1 overlaps chunk encode/decode across cores; the >=1.5x speedup target applies on hosts with >=4 cores, single-core hosts show parity minus scheduling overhead\","
+        printf "  \"benchmarks\": ["
+    }
+    $1 ~ /^BenchmarkStreamPipelined\// {
+        sub(/-[0-9]+$/, "", $1)
+        printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s}", (n++ ? "," : ""), $1, $2, $3, $5
+    }
+    END { print "\n  ]\n}" }
+' /tmp/arc_bench_stream.txt > BENCH_stream.json
+echo "wrote BENCH_stream.json"
+
 echo "== fuzz smoke (10s per target) =="
-for target in FuzzContainerDecode FuzzSZDecompress FuzzZFPDecompress FuzzHuffmanTable FuzzStreamReader; do
+for target in FuzzContainerDecode FuzzSZDecompress FuzzZFPDecompress FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s .
 done
 
