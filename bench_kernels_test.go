@@ -1,0 +1,242 @@
+package arc
+
+// Per-kernel microbenchmarks for the word-level ECC and bit-I/O hot
+// paths, each paired with its retained scalar reference so the speedup
+// is measured in the same run on the same host. verify.sh records the
+// results (plus host metadata) to BENCH_kernels.json and gates on the
+// word/scalar ratios: >=3x for SECDED-64 encode, >=2x for GF(256)
+// MulSlice. See docs/KERNELS.md for how the kernels work and why their
+// output is bit-identical to the references.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitio"
+	"repro/internal/ecc/hamming"
+	"repro/internal/ecc/interleave"
+	"repro/internal/ecc/reedsolomon"
+	"repro/internal/gf256"
+	"repro/internal/huffman"
+)
+
+// kernelBuf is the working-set size for the slice kernels: large
+// enough to leave L1 but stay in L2, matching a stream chunk's scale.
+const kernelBuf = 256 << 10
+
+func randBytes(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func BenchmarkKernelGF256MulSlice(b *testing.B) {
+	src := randBytes(kernelBuf, 1)
+	dst := randBytes(kernelBuf, 2)
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			gf256.MulSlice(0x1D, src, dst)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			gf256.MulSliceRef(0x1D, src, dst)
+		}
+	})
+}
+
+func BenchmarkKernelGF256Xor(b *testing.B) {
+	src := randBytes(kernelBuf, 3)
+	dst := randBytes(kernelBuf, 4)
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			gf256.XorSlice(src, dst)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			gf256.XorSliceRef(src, dst)
+		}
+	})
+}
+
+func BenchmarkKernelSECDED64Encode(b *testing.B) {
+	code := hamming.NewExtended(64, 1, "secded64")
+	data := randBytes(kernelBuf, 5)
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			code.Encode(data)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			code.EncodeRef(data)
+		}
+	})
+}
+
+func BenchmarkKernelSECDED64Decode(b *testing.B) {
+	code := hamming.NewExtended(64, 1, "secded64")
+	data := randBytes(kernelBuf, 6)
+	enc := code.Encode(data)
+	enc[100] ^= 0x10 // one correctable flip so repair logic runs
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := code.Decode(enc, kernelBuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(kernelBuf)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := code.DecodeRef(enc, kernelBuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkKernelBitioWrite(b *testing.B) {
+	const fields = 8192
+	vals := make([]uint64, fields)
+	widths := make([]int, fields)
+	rng := rand.New(rand.NewSource(7))
+	totalBits := 0
+	for i := range vals {
+		vals[i] = rng.Uint64()
+		widths[i] = 1 + rng.Intn(32) // entropy-coder-sized fields
+		totalBits += widths[i]
+	}
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(totalBits / 8))
+		for i := 0; i < b.N; i++ {
+			var w bitio.Writer
+			for j := range vals {
+				w.WriteBits(vals[j], widths[j])
+			}
+			w.Bytes()
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(totalBits / 8))
+		for i := 0; i < b.N; i++ {
+			var w bitio.Writer
+			for j := range vals {
+				for k := widths[j] - 1; k >= 0; k-- {
+					w.WriteBit(uint(vals[j] >> uint(k)))
+				}
+			}
+			w.Bytes()
+		}
+	})
+}
+
+func BenchmarkKernelBitioRead(b *testing.B) {
+	const fields = 8192
+	widths := make([]int, fields)
+	rng := rand.New(rand.NewSource(8))
+	var w bitio.Writer
+	totalBits := 0
+	for i := range widths {
+		widths[i] = 1 + rng.Intn(32)
+		w.WriteBits(rng.Uint64(), widths[i])
+		totalBits += widths[i]
+	}
+	buf := w.Bytes()
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(int64(totalBits / 8))
+		for i := 0; i < b.N; i++ {
+			r := bitio.NewReader(buf)
+			for _, n := range widths {
+				if _, err := r.ReadBits(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(totalBits / 8))
+		for i := 0; i < b.N; i++ {
+			r := bitio.NewReader(buf)
+			for _, n := range widths {
+				for k := 0; k < n; k++ {
+					if _, err := r.ReadBit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkKernelRSEncode tracks the Reed-Solomon stripe encoder built
+// on the word-level gf256 kernels (no scalar pair: the inner kernel's
+// ratio is measured by BenchmarkKernelGF256MulSlice).
+func BenchmarkKernelRSEncode(b *testing.B) {
+	code, err := reedsolomon.New(8, 2, 4096, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randBytes(kernelBuf, 9)
+	b.SetBytes(kernelBuf)
+	for i := 0; i < b.N; i++ {
+		code.Encode(data)
+	}
+}
+
+// BenchmarkKernelInterleaveEncode tracks the division-free bit
+// transpose wrapped around SEC-DED.
+func BenchmarkKernelInterleaveEncode(b *testing.B) {
+	code, err := interleave.NewSECDED(16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randBytes(kernelBuf, 10)
+	b.SetBytes(kernelBuf)
+	for i := 0; i < b.N; i++ {
+		code.Encode(data)
+	}
+}
+
+// BenchmarkKernelHuffmanDecode tracks the LUT decode path over the
+// word-level Peek/Skip reader.
+func BenchmarkKernelHuffmanDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	freqs := make([]int64, 256)
+	syms := make([]int, 1<<16)
+	for i := range syms {
+		// Geometric-ish skew so code lengths vary like quantization codes.
+		s := rng.Intn(16)
+		if rng.Intn(4) == 0 {
+			s = rng.Intn(256)
+		}
+		syms[i] = s
+		freqs[s]++
+	}
+	codec, err := huffman.Build(freqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var w bitio.Writer
+	for _, s := range syms {
+		codec.Encode(&w, s)
+	}
+	buf := w.Bytes()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		r := bitio.NewReader(buf)
+		for range syms {
+			if _, err := codec.Decode(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

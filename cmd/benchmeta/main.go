@@ -1,0 +1,34 @@
+// Command benchmeta prints host metadata as a single-line JSON object.
+// verify.sh embeds it in BENCH_stream.json and BENCH_kernels.json so
+// recorded throughput numbers are self-explanatory: a "host_cores": 1
+// artifact reads very differently from an 8-core one, and kernel MB/s
+// only compares across runs on the same GOARCH and Go version.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+type hostMeta struct {
+	Cores     int    `json:"cores"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go_version"`
+}
+
+func main() {
+	out, err := json.Marshal(hostMeta{
+		Cores:     runtime.NumCPU(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchmeta:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

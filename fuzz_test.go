@@ -193,3 +193,66 @@ func FuzzStreamReaderPipelined(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBitIORoundTrip drives the word-level bit writer/reader with an
+// arbitrary (value, width) field sequence decoded from the fuzz input:
+// each field takes 1 width byte (mod 65) and 8 value bytes. Every
+// field written must read back bit-exactly (masked to its width), the
+// write and read cursors must agree, and reading one bit past the end
+// must fail — pinning the accumulator kernels against the per-bit
+// semantics the stream formats were built on.
+func FuzzBitIORoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0xFF, 64, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{57, 0xAA}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		var vals []uint64
+		var widths []int
+		var w bitio.Writer
+		total := 0
+		for i := 0; i+9 <= len(data); i += 9 {
+			n := int(data[i]) % 65
+			var v uint64
+			for j := 1; j <= 8; j++ {
+				v = v<<8 | uint64(data[i+j])
+			}
+			w.WriteBits(v, n)
+			if n < 64 {
+				v &= 1<<uint(n) - 1
+			}
+			vals = append(vals, v)
+			widths = append(widths, n)
+			total += n
+			if w.Len() != total {
+				t.Fatalf("Len %d after %d written bits", w.Len(), total)
+			}
+		}
+		buf := w.Bytes()
+		if len(buf) != (total+7)/8 {
+			t.Fatalf("buffer %d bytes for %d bits", len(buf), total)
+		}
+		r := bitio.NewReader(buf)
+		for i, n := range widths {
+			got, err := r.ReadBits(n)
+			if err != nil {
+				t.Fatalf("field %d: %v", i, err)
+			}
+			if got != vals[i] {
+				t.Fatalf("field %d (width %d): %#x != %#x", i, n, got, vals[i])
+			}
+		}
+		if r.Pos() != total {
+			t.Fatalf("read cursor %d != %d", r.Pos(), total)
+		}
+		// The flush padding is readable but nothing beyond it.
+		if err := r.Skip(r.Remaining()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ReadBit(); err == nil {
+			t.Fatal("read past end succeeded")
+		}
+	})
+}

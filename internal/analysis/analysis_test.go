@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -381,8 +382,8 @@ func f() {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 6", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 7", len(all), err)
 	}
 	two, err := analysis.ByName("bitwidth, mathbits")
 	if err != nil || len(two) != 2 {
@@ -402,4 +403,77 @@ func TestAppliesTo(t *testing.T) {
 	if !every.AppliesTo("anything") {
 		t.Fatal("empty Packages must mean run everywhere")
 	}
+}
+
+// TestBuildConstraints ensures platform-variant files are excluded the
+// way `go build` would exclude them: by //go:build expression and by
+// filename suffix. The excluded files redeclare `impl`, so if either
+// were wrongly loaded the fixture would fail to typecheck.
+func TestBuildConstraints(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == otherOS {
+		otherOS = "linux"
+	}
+	otherArch := "s390x"
+	if runtime.GOARCH == otherArch {
+		otherArch = "amd64"
+	}
+	files := map[string]string{
+		"p/p.go": `package p
+
+const impl = "portable"
+
+func mayFail() error { return nil }
+
+func use() {
+	mayFail() // want uncheckederr
+}
+`,
+		"p/p_other.go": fmt.Sprintf(`//go:build %s
+
+package p
+
+const impl = "tagged"
+`, otherArch),
+		fmt.Sprintf("p/q_%s.go", otherOS): `package p
+
+const impl = "suffixed"
+`,
+		"p/ignored.go": `//go:build ignore
+
+package p
+
+const impl = "ignored"
+`,
+	}
+	root := writeFixture(t, files)
+	checkMarkers(t, root, files, analyze(t, root))
+}
+
+func TestBuiltinShadow(t *testing.T) {
+	files := map[string]string{"p/p.go": `package p
+
+func min(a, b int) int { // want builtinshadow
+	if a < b {
+		return a
+	}
+	return b
+}
+
+type rng struct {
+	min int // fields are selector-qualified: no shadowing
+	max int
+}
+
+func (r rng) clear() {} // methods are selector-qualified: no shadowing
+
+func use() int {
+	max := 3 // want builtinshadow
+	r := rng{min: 1, max: max}
+	r.clear()
+	return min(r.min, r.max)
+}
+`}
+	root := writeFixture(t, files)
+	checkMarkers(t, root, files, analyze(t, root))
 }

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "builtinshadow",
+		Doc: "reports declarations named after the Go 1.21+ builtins min, " +
+			"max, and clear. A package-level or local helper with one of " +
+			"these names shadows the builtin for its whole scope, so code " +
+			"written later silently binds to the helper (with whatever " +
+			"narrower signature it has) instead of the builtin — delete " +
+			"the helper and use the builtin directly",
+		Run: runBuiltinShadow,
+	})
+}
+
+// shadowedBuiltins are the builtins added after this codebase's
+// helpers were first written — exactly the names a stale local helper
+// is likely to occupy.
+var shadowedBuiltins = map[string]bool{"min": true, "max": true, "clear": true}
+
+func runBuiltinShadow(pass *Pass) error {
+	for ident, obj := range pass.Info.Defs {
+		if obj == nil || !shadowedBuiltins[ident.Name] {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			// Methods are reached through a selector and shadow nothing.
+			if sig, ok := o.Type().(*types.Signature); ok && sig.Recv() != nil {
+				continue
+			}
+			pass.Reportf(ident.Pos(), "function %s shadows the %s builtin; drop it and use the builtin", ident.Name, ident.Name)
+		case *types.Var:
+			// Struct fields are selector-qualified and shadow nothing.
+			if o.IsField() {
+				continue
+			}
+			pass.Reportf(ident.Pos(), "variable %s shadows the %s builtin within its scope", ident.Name, ident.Name)
+		case *types.Const, *types.TypeName:
+			pass.Reportf(ident.Pos(), "declaration of %s shadows the %s builtin", ident.Name, ident.Name)
+		}
+	}
+	return nil
+}

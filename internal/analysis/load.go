@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -167,11 +169,14 @@ func (l *Loader) parseDir(dir string, includeTests bool) (primary, external []*a
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		if !goodOSArchFile(name) {
+			continue
+		}
 		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, nil, err
 		}
-		if ignoredByBuildTag(file) {
+		if !buildConstraintsSatisfied(file) {
 			continue
 		}
 		if strings.HasSuffix(file.Name.Name, "_test") {
@@ -185,21 +190,89 @@ func (l *Loader) parseDir(dir string, includeTests bool) (primary, external []*a
 	return primary, external, nil
 }
 
-// ignoredByBuildTag reports whether a file opts out of the build via
-// a `//go:build ignore`-style constraint.
-func ignoredByBuildTag(file *ast.File) bool {
+// buildConstraintsSatisfied reports whether the file's `//go:build`
+// expression (if any) holds for the platform arcvet runs on. Without
+// this, platform-variant pairs like mul_amd64.go / mul_noasm.go would
+// both join the package and collide at typecheck.
+func buildConstraintsSatisfied(file *ast.File) bool {
 	for _, cg := range file.Comments {
 		if cg.Pos() > file.Package {
 			break
 		}
 		for _, c := range cg.List {
-			text := strings.TrimSpace(c.Text)
-			if strings.HasPrefix(text, "//go:build") && strings.Contains(text, "ignore") {
-				return true
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(matchTag) {
+				return false
 			}
 		}
 	}
-	return false
+	return true
+}
+
+// matchTag evaluates one build tag against the running platform — the
+// same set of facts `go build` would use locally, minus cgo (the
+// analyzers never need it).
+func matchTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, runtime.Compiler:
+		return true
+	case "unix":
+		return unixOS[runtime.GOOS]
+	}
+	// Release tags: the toolchain running this code satisfies every
+	// go1.N up to itself; the repo's go.mod floor makes finer checks
+	// moot.
+	return strings.HasPrefix(tag, "go1.")
+}
+
+var unixOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"linux": true, "netbsd": true, "openbsd": true, "solaris": true,
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "hurd": true, "illumos": true, "ios": true,
+	"js": true, "linux": true, "netbsd": true, "openbsd": true,
+	"plan9": true, "solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "sparc64": true, "wasm": true,
+}
+
+// goodOSArchFile applies the filename-suffix build rules: a trailing
+// _GOOS, _GOARCH, or _GOOS_GOARCH component restricts the file to that
+// platform (mirroring go/build, with _test stripped first).
+func goodOSArchFile(name string) bool {
+	name = strings.TrimSuffix(name, ".go")
+	name = strings.TrimSuffix(name, "_test")
+	parts := strings.Split(name, "_")
+	// The first component is never a constraint ("amd64.go" is fine).
+	if len(parts) >= 2 {
+		parts = parts[1:]
+	}
+	n := len(parts)
+	if n >= 2 && knownOS[parts[n-2]] && knownArch[parts[n-1]] {
+		return parts[n-2] == runtime.GOOS && parts[n-1] == runtime.GOARCH
+	}
+	if n >= 1 && knownArch[parts[n-1]] {
+		return parts[n-1] == runtime.GOARCH
+	}
+	if n >= 1 && knownOS[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
 }
 
 // check runs the type checker over files with the loader as importer.

@@ -1,47 +1,72 @@
 // Package bitio provides MSB-first bit-granular readers and writers
 // over byte slices, shared by the Huffman coder (internal/huffman) and
 // the ZFP-like embedded bit-plane coder (internal/zfp).
+//
+// Both directions run word-at-a-time: the Writer batches bits in a
+// 64-bit accumulator and flushes whole bytes, and the Reader extracts
+// multi-bit fields from 8-byte loads instead of walking bit by bit.
+// The bit stream layout is unchanged from the original per-bit
+// implementation — see docs/KERNELS.md for the equivalence argument.
 package bitio
 
-import "io"
+import (
+	"encoding/binary"
+	"io"
+)
 
 // Writer accumulates bits MSB-first into an in-memory buffer.
 // The zero value is ready to use.
 type Writer struct {
 	buf  []byte
-	cur  byte
-	nCur int // bits currently in cur (0..7)
+	acc  uint64 // pending bits in the low nAcc positions, oldest highest
+	nAcc int    // bits currently in acc (0..7 between calls)
 }
 
 // WriteBit appends a single bit (the low bit of b).
 func (w *Writer) WriteBit(b uint) {
-	w.cur = w.cur<<1 | byte(b&1)
-	w.nCur++
-	if w.nCur == 8 {
-		w.buf = append(w.buf, w.cur)
-		w.cur, w.nCur = 0, 0
+	w.acc = w.acc<<1 | uint64(b&1)
+	w.nAcc++
+	if w.nAcc == 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc, w.nAcc = 0, 0
 	}
 }
 
 // WriteBits appends the low n bits of v, most significant first.
 // n must be in [0, 64].
 func (w *Writer) WriteBits(v uint64, n int) {
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> i))
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	if w.nAcc+n > 64 {
+		// acc holds at most 7 residual bits, so only fields wider than
+		// 57 bits can overflow the accumulator; split the field and
+		// recurse (each half fits).
+		w.WriteBits(v>>32, n-32)
+		w.WriteBits(v&0xFFFFFFFF, 32)
+		return
+	}
+	w.acc = w.acc<<uint(n) | v
+	w.nAcc += n
+	for w.nAcc >= 8 {
+		w.nAcc -= 8
+		w.buf = append(w.buf, byte(w.acc>>uint(w.nAcc)))
 	}
 }
 
 // Len returns the number of bits written so far.
-func (w *Writer) Len() int { return len(w.buf)*8 + w.nCur }
+func (w *Writer) Len() int { return len(w.buf)*8 + w.nAcc }
 
 // Bytes flushes any partial byte (zero padded on the right) and
 // returns the accumulated buffer. The Writer remains usable; further
 // writes continue after the flushed padding, so callers should only
 // call Bytes once when finished.
 func (w *Writer) Bytes() []byte {
-	if w.nCur > 0 {
-		w.buf = append(w.buf, w.cur<<(8-w.nCur))
-		w.cur, w.nCur = 0, 0
+	if w.nAcc > 0 {
+		// Only the low nAcc bits of acc are live; bits above them may
+		// be stale from earlier flushes.
+		w.buf = append(w.buf, byte(w.acc&(1<<uint(w.nAcc)-1))<<(8-w.nAcc))
+		w.acc, w.nAcc = 0, 0
 	}
 	return w.buf
 }
@@ -68,16 +93,46 @@ func (r *Reader) ReadBit() (uint, error) {
 	return b, nil
 }
 
+// loadWord returns the 64 bits starting at byte index bi, MSB-first,
+// zero padded past the end of the buffer.
+func (r *Reader) loadWord(bi int) uint64 {
+	if bi+8 <= len(r.buf) {
+		return binary.BigEndian.Uint64(r.buf[bi:])
+	}
+	var w uint64
+	for i := bi; i < len(r.buf); i++ {
+		w = w<<8 | uint64(r.buf[i])
+	}
+	return w << (8 * uint(8-(len(r.buf)-bi)))
+}
+
+// extract returns the n bits starting at bit position pos. The caller
+// guarantees pos+n <= len(buf)*8 (reading past the end is confined to
+// loadWord's zero padding) and n in [1, 64].
+func (r *Reader) extract(pos, n int) uint64 {
+	bi, off := pos>>3, uint(pos&7)
+	w := r.loadWord(bi)
+	if int(off)+n <= 64 {
+		return w << off >> uint(64-n)
+	}
+	// The field straddles the 8-byte window: take the window's last
+	// 64-off bits, then the remainder (at most 7 bits) from the next
+	// byte.
+	k := 64 - int(off)
+	rem := uint(n - k)
+	return w<<off>>uint(64-k)<<rem | r.loadWord(bi+8)>>(64-rem)
+}
+
 // ReadBits returns the next n bits (MSB first). n must be in [0, 64].
 func (r *Reader) ReadBits(n int) (uint64, error) {
 	if r.pos+n > len(r.buf)*8 {
 		return 0, io.ErrUnexpectedEOF
 	}
-	var v uint64
-	for i := 0; i < n; i++ {
-		v = v<<1 | uint64(r.buf[r.pos/8]>>(7-r.pos%8)&1)
-		r.pos++
+	if n == 0 {
+		return 0, nil
 	}
+	v := r.extract(r.pos, n)
+	r.pos += n
 	return v, nil
 }
 
@@ -108,16 +163,12 @@ func (r *Reader) AlignByte() {
 // fewer than n bits remain, the missing low bits are zero and avail
 // reports how many were real. n must be in [0, 64].
 func (r *Reader) Peek(n int) (v uint64, avail int) {
-	total := len(r.buf) * 8
-	avail = total - r.pos
+	avail = len(r.buf)*8 - r.pos
 	if avail > n {
 		avail = n
 	}
-	pos := r.pos
-	for i := 0; i < avail; i++ {
-		v = v<<1 | uint64(r.buf[pos/8]>>(7-pos%8)&1)
-		pos++
+	if avail > 0 {
+		v = r.extract(r.pos, avail) << uint(n-avail)
 	}
-	v <<= uint(n - avail)
 	return v, avail
 }

@@ -222,9 +222,9 @@ func TestQuickOptimizerInvariants(t *testing.T) {
 		// budget above its overhead, so OverBudget implies the budget
 		// is below the global minimum overhead.
 		if c.OverBudget {
-			min := AllConfigs()[0].Overhead()
-			if mem >= min {
-				t.Logf("OverBudget at mem=%.4f despite min=%.4f", mem, min)
+			cheapest := AllConfigs()[0].Overhead()
+			if mem >= cheapest {
+				t.Logf("OverBudget at mem=%.4f despite min=%.4f", mem, cheapest)
 				return false
 			}
 		} else if c.Overhead > mem {

@@ -166,6 +166,10 @@ func (c *Code) loadBlock(data []byte, b int) uint64 {
 func (c *Code) storeBlock(data []byte, b int, v uint64) {
 	bb := c.blockBytes()
 	start := b * bb
+	if bb == 8 && start+8 <= len(data) {
+		binary.LittleEndian.PutUint64(data[start:], v)
+		return
+	}
 	for i := 0; i < bb && start+i < len(data); i++ {
 		data[start+i] = byte(v >> (8 * i))
 	}
@@ -199,16 +203,144 @@ func (c *Code) Encode(data []byte) []byte {
 	group := lcm(cl, 8) / cl
 	groups := (nb + group - 1) / group
 	parallel.For(groups, c.Workers, func(glo, ghi int) {
-		for g := glo; g < ghi; g++ {
-			bitPos := g * group * cl
-			for b := g * group; b < (g+1)*group && b < nb; b++ {
-				v := c.blockCheck(c.loadBlock(data, b))
-				writeBits(chk, bitPos, uint64(v), cl)
-				bitPos += cl
-			}
-		}
+		c.encodeChecks(data, chk, glo, ghi, group, nb)
 	})
 	return out
+}
+
+// encodeChecks computes and packs the check words for block groups
+// [glo, ghi). Each group's check bits start at a byte boundary and
+// span group*CheckLen <= 56 bits, so a whole group accumulates into
+// one uint64 and lands with whole-byte stores — the word-level
+// replacement for the per-bit writeBits packing that EncodeRef
+// retains as the scalar reference.
+func (c *Code) encodeChecks(data, chk []byte, glo, ghi, group, nb int) {
+	cl := c.P.CheckLen
+	if cl == 8 && c.P.K == 64 {
+		// SEC-DED(72,64): one byte-aligned check byte per 8-byte block
+		// (group == 1, so group index == block index). The hottest
+		// configuration gets a flat loop: word load, a handful of
+		// popcounts, one byte store.
+		full := len(data) / 8
+		for b := glo; b < ghi && b < full; b++ {
+			chk[b] = byte(c.blockCheck(binary.LittleEndian.Uint64(data[b*8:])))
+		}
+		for b := max(glo, full); b < ghi; b++ {
+			chk[b] = byte(c.blockCheck(c.loadBlock(data, b)))
+		}
+		return
+	}
+	bb := c.blockBytes()
+	for g := glo; g < ghi; g++ {
+		b0 := g * group
+		b1 := min(b0+group, nb)
+		var acc uint64
+		for b := b0; b < b1; b++ {
+			var v uint16
+			if bb == 8 && (b+1)*8 <= len(data) {
+				v = c.blockCheck(binary.LittleEndian.Uint64(data[b*8:]))
+			} else {
+				v = c.blockCheck(c.loadBlock(data, b))
+			}
+			acc = acc<<cl | uint64(v)
+		}
+		nbits := (b1 - b0) * cl
+		nbytes := (nbits + 7) / 8
+		// MSB-align the bit string within its byte span (the final
+		// partial group zero-pads, exactly like writeBits into a zeroed
+		// buffer).
+		acc <<= uint(nbytes*8 - nbits)
+		off := b0 * cl / 8
+		for k := nbytes - 1; k >= 0; k-- {
+			chk[off+k] = byte(acc)
+			acc >>= 8
+		}
+	}
+}
+
+// EncodeRef is the retained scalar reference implementation of Encode
+// (per-bit writeBits packing), kept for differential tests and as the
+// baseline the word kernels are benchmarked against. Its output is
+// byte-identical to Encode's.
+func (c *Code) EncodeRef(data []byte) []byte {
+	n := len(data)
+	nb := c.blocks(n)
+	out := make([]byte, c.EncodedSize(n))
+	copy(out, data)
+	chk := out[n:]
+	cl := c.P.CheckLen
+	bitPos := 0
+	for b := 0; b < nb; b++ {
+		v := c.blockCheck(c.loadBlock(data, b))
+		writeBits(chk, bitPos, uint64(v), cl)
+		bitPos += cl
+	}
+	return out
+}
+
+// blockStats accumulates one worker's decode counters.
+type blockStats struct{ det, bits, blocks, unc int64 }
+
+// decodeBlock verifies block b of out against its stored check word,
+// correcting out in place and updating st. It is shared by Decode's
+// word-level check unpacking and DecodeRef's per-bit reference.
+func (c *Code) decodeBlock(out []byte, b int, stored uint16, st *blockStats) {
+	data := c.loadBlock(out, b)
+	storedParity := stored & ((1 << c.P.R) - 1)
+	syndrome := int(storedParity ^ uint16(c.P.checkBits(data)))
+	if c.P.Extended {
+		// Encode makes the whole codeword (data bits, parity bits,
+		// overall bit) even-weight, so an odd received weight means an
+		// odd number of flips.
+		odd := (bits.OnesCount64(data)+bits.OnesCount16(stored))&1 == 1
+		switch {
+		case syndrome == 0 && !odd:
+			// Clean.
+		case syndrome == 0 && odd:
+			// Only the overall parity bit flipped; the data and check
+			// bits agree.
+			st.det++
+			st.bits++
+			st.blocks++
+		case odd:
+			// Single error; the syndrome names its position.
+			st.det++
+			if syndrome > c.P.N {
+				// A position outside the codeword means at least a
+				// triple flip. Detect only.
+				st.unc++
+				return
+			}
+			if bi := c.P.posToBit[syndrome]; bi >= 0 {
+				c.storeBlock(out, b, data^(1<<bi))
+			}
+			// Syndrome at a parity position: the stored check bits
+			// were hit; data is already correct.
+			st.bits++
+			st.blocks++
+		default:
+			// Nonzero syndrome with even weight: a double error.
+			// Detect only — this is the "DED" in SEC-DED.
+			st.det++
+			st.unc++
+		}
+		return
+	}
+	if syndrome == 0 {
+		return
+	}
+	st.det++
+	if syndrome > c.P.N {
+		// Syndrome points outside the codeword: multi-bit corruption.
+		// Detect only.
+		st.unc++
+		return
+	}
+	if bi := c.P.posToBit[syndrome]; bi >= 0 {
+		c.storeBlock(out, b, data^(1<<bi))
+	}
+	st.bits++
+	st.blocks++
 }
 
 // Decode implements ecc.Code.
@@ -226,81 +358,72 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 	groups := (nb + group - 1) / group
 	var detected, corrBits, corrBlocks, uncorrectable int64
 	parallel.For(groups, c.Workers, func(glo, ghi int) {
-		var ldet, lbits, lblocks, lunc int64
-		for g := glo; g < ghi; g++ {
-			bitPos := g * group * cl
-			for b := g * group; b < (g+1)*group && b < nb; b++ {
-				stored := uint16(readBits(chk, bitPos, cl))
-				bitPos += cl
-				data := c.loadBlock(out, b)
-				storedParity := stored & ((1 << c.P.R) - 1)
-				syndrome := int(storedParity ^ uint16(c.P.checkBits(data)))
-				if c.P.Extended {
-					// Encode makes the whole codeword (data bits,
-					// parity bits, overall bit) even-weight, so an odd
-					// received weight means an odd number of flips.
-					odd := (bits.OnesCount64(data)+bits.OnesCount16(stored))&1 == 1
-					switch {
-					case syndrome == 0 && !odd:
-						continue // clean
-					case syndrome == 0 && odd:
-						// Only the overall parity bit flipped; the data
-						// and check bits agree.
-						ldet++
-						lbits++
-						lblocks++
-					case odd:
-						// Single error; the syndrome names its position.
-						ldet++
-						if syndrome > c.P.N {
-							// A position outside the codeword means at
-							// least a triple flip. Detect only.
-							lunc++
-							continue
-						}
-						if bi := c.P.posToBit[syndrome]; bi >= 0 {
-							c.storeBlock(out, b, data^(1<<bi))
-						}
-						// Syndrome at a parity position: the stored
-						// check bits were hit; data is already correct.
-						lbits++
-						lblocks++
-					default:
-						// Nonzero syndrome with even weight: a double
-						// error. Detect only — this is the "DED" in
-						// SEC-DED.
-						ldet++
-						lunc++
-					}
-					continue
+		var st blockStats
+		if cl == 8 {
+			// Byte-aligned check words (group == 1): read directly.
+			for b := glo; b < ghi; b++ {
+				c.decodeBlock(out, b, uint16(chk[b]), &st)
+			}
+		} else {
+			// Load each group's byte-aligned check span into a uint64
+			// and peel the per-block fields MSB-first — the word-level
+			// replacement for per-bit readBits.
+			for g := glo; g < ghi; g++ {
+				b0 := g * group
+				b1 := min(b0+group, nb)
+				nbits := (b1 - b0) * cl
+				nbytes := (nbits + 7) / 8
+				off := b0 * cl / 8
+				var acc uint64
+				for k := 0; k < nbytes; k++ {
+					acc = acc<<8 | uint64(chk[off+k])
 				}
-				if syndrome == 0 {
-					continue
+				sh := uint(nbytes * 8)
+				for b := b0; b < b1; b++ {
+					sh -= uint(cl)
+					c.decodeBlock(out, b, uint16(acc>>sh)&((1<<cl)-1), &st)
 				}
-				ldet++
-				if syndrome > c.P.N {
-					// Syndrome points outside the codeword: multi-bit
-					// corruption. Detect only.
-					lunc++
-					continue
-				}
-				if bi := c.P.posToBit[syndrome]; bi >= 0 {
-					c.storeBlock(out, b, data^(1<<bi))
-				}
-				lbits++
-				lblocks++
 			}
 		}
-		atomic.AddInt64(&detected, ldet)
-		atomic.AddInt64(&corrBits, lbits)
-		atomic.AddInt64(&corrBlocks, lblocks)
-		atomic.AddInt64(&uncorrectable, lunc)
+		atomic.AddInt64(&detected, st.det)
+		atomic.AddInt64(&corrBits, st.bits)
+		atomic.AddInt64(&corrBlocks, st.blocks)
+		atomic.AddInt64(&uncorrectable, st.unc)
 	})
 	rep.DetectedBlocks = int(detected)
 	rep.CorrectedBits = int(corrBits)
 	rep.CorrectedBlocks = int(corrBlocks)
 	if uncorrectable > 0 {
 		return out, rep, fmt.Errorf("%w: %d block(s) with multi-bit damage", ecc.ErrUncorrectable, uncorrectable)
+	}
+	return out, rep, nil
+}
+
+// DecodeRef is the retained scalar reference implementation of Decode
+// (per-bit readBits unpacking), kept for differential tests and as the
+// benchmark baseline. Results are identical to Decode's.
+func (c *Code) DecodeRef(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	var rep ecc.Report
+	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
+		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
+	}
+	out := make([]byte, origLen)
+	copy(out, encoded[:origLen])
+	chk := encoded[origLen:c.EncodedSize(origLen)]
+	nb := c.blocks(origLen)
+	cl := c.P.CheckLen
+	var st blockStats
+	bitPos := 0
+	for b := 0; b < nb; b++ {
+		stored := uint16(readBits(chk, bitPos, cl))
+		bitPos += cl
+		c.decodeBlock(out, b, stored, &st)
+	}
+	rep.DetectedBlocks = int(st.det)
+	rep.CorrectedBits = int(st.bits)
+	rep.CorrectedBlocks = int(st.blocks)
+	if st.unc > 0 {
+		return out, rep, fmt.Errorf("%w: %d block(s) with multi-bit damage", ecc.ErrUncorrectable, st.unc)
 	}
 	return out, rep, nil
 }

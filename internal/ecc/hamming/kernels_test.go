@@ -1,0 +1,103 @@
+package hamming
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+// kernelLens exercises empty inputs, partial trailing blocks, group
+// boundaries, and buffers large enough for several worker spans.
+var kernelLens = []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 100, 511, 512, 513, 4096, 4099}
+
+func kernelCodes() []*Code {
+	return []*Code{
+		New(8, 1), New(64, 1),
+		NewExtended(8, 1, "secded8"), NewExtended(64, 1, "secded64"),
+		New(8, 4), New(64, 4),
+		NewExtended(8, 4, "secded8"), NewExtended(64, 4, "secded64"),
+	}
+}
+
+// TestEncodeMatchesRef pins the word-packed check path to the per-bit
+// scalar reference for every code family and awkward length.
+func TestEncodeMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, c := range kernelCodes() {
+		for _, n := range kernelLens {
+			data := make([]byte, n)
+			rng.Read(data)
+			got := c.Encode(data)
+			want := c.EncodeRef(data)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s workers=%d n=%d: Encode diverges from EncodeRef", c.Name(), c.Workers, n)
+			}
+		}
+	}
+}
+
+// TestDecodeMatchesRef corrupts encodings with random flips — clean,
+// correctable, and uncorrectable alike — and requires the word-level
+// decode to agree with the reference on output, report, and error.
+func TestDecodeMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range kernelCodes() {
+		for _, n := range kernelLens {
+			data := make([]byte, n)
+			rng.Read(data)
+			enc := c.Encode(data)
+			for _, flips := range []int{0, 1, 2, 5} {
+				cor := append([]byte(nil), enc...)
+				for f := 0; f < flips && len(cor) > 0; f++ {
+					i := rng.Intn(len(cor) * 8)
+					cor[i/8] ^= 0x80 >> (i % 8)
+				}
+				got, gotRep, gotErr := c.Decode(cor, n)
+				want, wantRep, wantErr := c.DecodeRef(cor, n)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s n=%d flips=%d: Decode output diverges from DecodeRef", c.Name(), n, flips)
+				}
+				if gotRep != wantRep {
+					t.Fatalf("%s n=%d flips=%d: report %+v != %+v", c.Name(), n, flips, gotRep, wantRep)
+				}
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("%s n=%d flips=%d: error %v != %v", c.Name(), n, flips, gotErr, wantErr)
+				}
+			}
+		}
+	}
+}
+
+// TestRefRoundTrip keeps the reference implementations honest on their
+// own: encode, flip one bit, decode, expect the original back.
+func TestRefRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, c := range []*Code{New(64, 1), NewExtended(64, 1, "secded64")} {
+		data := make([]byte, 256)
+		rng.Read(data)
+		enc := c.EncodeRef(data)
+		i := rng.Intn(len(enc) * 8)
+		enc[i/8] ^= 0x80 >> (i % 8)
+		out, rep, err := c.DecodeRef(enc, len(data))
+		if err != nil {
+			t.Fatalf("%s: single flip should correct: %v", c.Name(), err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("%s: reference round trip corrupted data", c.Name())
+		}
+		if rep.CorrectedBits != 1 {
+			t.Fatalf("%s: corrected %d bits, want 1", c.Name(), rep.CorrectedBits)
+		}
+	}
+}
+
+// TestDecodeRefTruncated mirrors Decode's truncation contract.
+func TestDecodeRefTruncated(t *testing.T) {
+	c := New(64, 1)
+	if _, _, err := c.DecodeRef(make([]byte, 3), 64); !errors.Is(err, ecc.ErrTruncated) {
+		t.Fatalf("expected ErrTruncated, got %v", err)
+	}
+}

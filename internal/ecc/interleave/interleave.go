@@ -129,12 +129,28 @@ func (c *Code) Encode(data []byte) []byte {
 	rows := 8 * c.Depth
 	cols := padded * 8 / rows
 	out := make([]byte, padded)
-	// Bit transpose: out bit col*rows+row = g bit row*cols+col.
-	gBits := len(g) * 8
-	for i := 0; i < gBits; i++ {
-		if getBit(g, i) == 1 {
-			row, col := i/cols, i%cols
-			setBit(out, col*rows+row)
+	// Bit transpose: out bit col*rows+row = g bit row*cols+col. The
+	// (row, col) coordinates advance incrementally — no div/mod per
+	// bit — and all-zero source bytes skip their eight bit tests
+	// entirely (out starts zeroed).
+	row, col := 0, 0
+	advance := func(n int) {
+		col += n
+		for col >= cols {
+			col -= cols
+			row++
+		}
+	}
+	for _, b := range g {
+		if b == 0 {
+			advance(8)
+			continue
+		}
+		for t := 0; t < 8; t++ {
+			if b&(0x80>>t) != 0 {
+				setBit(out, col*rows+row)
+			}
+			advance(1)
 		}
 	}
 	return out
@@ -150,12 +166,20 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 	rows := 8 * c.Depth
 	cols := want * 8 / rows
 	g := make([]byte, groupedSize(origLen))
-	gBits := len(g) * 8
-	for i := 0; i < gBits; i++ {
-		row, col := i/cols, i%cols
-		if getBit(encoded, col*rows+row) == 1 {
-			setBit(g, i)
+	// Inverse transpose with the same incremental (row, col) walk as
+	// Encode; each grouped byte assembles from eight scattered bits.
+	row, col := 0, 0
+	for k := range g {
+		var b byte
+		for t := 0; t < 8; t++ {
+			b = b<<1 | getBit(encoded, col*rows+row)
+			col++
+			if col == cols {
+				col = 0
+				row++
+			}
 		}
+		g[k] = b
 	}
 	return c.inner.Decode(ungroup(g, origLen), origLen)
 }

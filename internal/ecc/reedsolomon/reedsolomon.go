@@ -191,11 +191,16 @@ func (c *Code) encodeStripe(src, dst []byte) {
 	ds := c.DeviceSize
 	copy(dst, src) // data devices, zero padding preserved by fresh dst
 	devices := dst[:(c.K+c.M)*ds]
-	// Parity devices: parity_i = sum_j gen[K+i][j] * data_j.
+	// Parity devices: parity_i = sum_j gen[K+i][j] * data_j, row-major
+	// over the generator so each coefficient's cached gf256.Table row
+	// stays hot for a full device-length pass. The first term
+	// overwrites (the parity device starts zeroed, so assign == xor)
+	// and saves one read-modify-write pass over pdev.
 	for i := 0; i < c.M; i++ {
 		row := c.gen.Row(c.K + i)
 		pdev := devices[(c.K+i)*ds : (c.K+i+1)*ds]
-		for j := 0; j < c.K; j++ {
+		gf256.MulSliceAssign(row[0], devices[:ds], pdev)
+		for j := 1; j < c.K; j++ {
 			gf256.MulSlice(row[j], devices[j*ds:(j+1)*ds], pdev)
 		}
 	}
@@ -297,24 +302,18 @@ func (c *Code) decodeStripe(stripe, dst []byte) (detected, corrected int, err er
 			continue
 		}
 		rebuilt := scratch[d*ds : (d+1)*ds]
-		for i := range rebuilt {
-			rebuilt[i] = 0
-		}
 		row := inv.Row(d)
-		for j, g := range good {
+		// First term assigns (no zeroing pass needed), the rest
+		// accumulate — same row-major shape as encodeStripe.
+		gf256.MulSliceAssign(row[0], devices[good[0]*ds:(good[0]+1)*ds], rebuilt)
+		for j := 1; j < len(good); j++ {
+			g := good[j]
 			gf256.MulSlice(row[j], devices[g*ds:(g+1)*ds], rebuilt)
 		}
 		corrected++
 	}
 	copy(dst, scratch)
 	return detected, corrected, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 var _ ecc.Code = (*Code)(nil)

@@ -19,15 +19,15 @@ func TestFig1(t *testing.T) {
 	if len(r.Trials) == 0 {
 		t.Fatal("no completed trials")
 	}
-	// Severity must vary by location: max well above min.
-	min := r.Trials[0].PercentIncorrect
-	max := r.Trials[len(r.Trials)-1].PercentIncorrect
-	if max < min+5 {
-		t.Fatalf("expected location-dependent severity, got range [%.2f, %.2f]", min, max)
+	// Severity must vary by location: the worst trial well above the best.
+	lo := r.Trials[0].PercentIncorrect
+	hi := r.Trials[len(r.Trials)-1].PercentIncorrect
+	if hi < lo+5 {
+		t.Fatalf("expected location-dependent severity, got range [%.2f, %.2f]", lo, hi)
 	}
 	// Severe cases corrupt large fractions (paper: up to 99.4%).
-	if max < 20 {
-		t.Fatalf("worst case only %.1f%% incorrect; expected severe corruption", max)
+	if hi < 20 {
+		t.Fatalf("worst case only %.1f%% incorrect; expected severe corruption", hi)
 	}
 	var buf bytes.Buffer
 	if err := r.Table().Write(&buf); err != nil {

@@ -170,27 +170,23 @@ func (c *Campaign) PercentByStatus(s Status) float64 {
 
 // CompletedStats aggregates the percent-incorrect distribution over
 // Completed trials: mean, min, max.
-func (c *Campaign) CompletedStats() (mean, min, max float64, n int) {
-	min = 101
+func (c *Campaign) CompletedStats() (mean, lo, hi float64, n int) {
+	lo = 101
 	for _, t := range c.Trials {
 		if t.Status != Completed {
 			continue
 		}
 		p := t.Metrics.PercentIncorrect
 		mean += p
-		if p < min {
-			min = p
-		}
-		if p > max {
-			max = p
-		}
+		lo = min(lo, p)
+		hi = max(hi, p)
 		n++
 	}
 	if n == 0 {
 		return 0, 0, 0, 0
 	}
 	mean /= float64(n)
-	return mean, min, max, n
+	return mean, lo, hi, n
 }
 
 // Run executes the campaign: compress once, measure the control

@@ -1,0 +1,108 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// kernelLens covers empty, sub-word, word-boundary, straddling, and
+// large buffers so both the uint64 lanes and the scalar tails run.
+var kernelLens = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 255, 1000, 1024, 1031}
+
+// TestMulSliceMatchesRef pins the word kernel to the scalar reference
+// for every coefficient, over odd lengths and unaligned slice offsets.
+func TestMulSliceMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelLens {
+			for _, off := range []int{0, 1, 3, 7} {
+				raw := make([]byte, n+off)
+				rng.Read(raw)
+				src := raw[off:]
+				dst1 := make([]byte, n+off)
+				rng.Read(dst1)
+				dst2 := append([]byte(nil), dst1...)
+				MulSlice(byte(c), src, dst1[off:])
+				MulSliceRef(byte(c), src, dst2[off:])
+				if !bytes.Equal(dst1, dst2) {
+					t.Fatalf("MulSlice(c=%d, n=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+func TestMulSliceAssignMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for c := 0; c < 256; c++ {
+		for _, n := range kernelLens {
+			for _, off := range []int{0, 1, 5} {
+				raw := make([]byte, n+off)
+				rng.Read(raw)
+				src := raw[off:]
+				dst1 := make([]byte, n)
+				rng.Read(dst1)
+				dst2 := append([]byte(nil), dst1...)
+				MulSliceAssign(byte(c), src, dst1)
+				MulSliceAssignRef(byte(c), src, dst2)
+				if !bytes.Equal(dst1, dst2) {
+					t.Fatalf("MulSliceAssign(c=%d, n=%d, off=%d) diverges from reference", c, n, off)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSliceMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		for off := 0; off < 8; off++ {
+			raw := make([]byte, n+off)
+			rng.Read(raw)
+			src := raw[off:]
+			dst1 := make([]byte, n)
+			rng.Read(dst1)
+			dst2 := append([]byte(nil), dst1...)
+			XorSlice(src, dst1)
+			XorSliceRef(src, dst2)
+			if !bytes.Equal(dst1, dst2) {
+				t.Fatalf("XorSlice(n=%d, off=%d) diverges from reference", n, off)
+			}
+		}
+	}
+}
+
+// TestMulSliceAgainstFieldMul cross-checks the table rows themselves:
+// the slice kernels must agree with element-wise field multiplication.
+func TestMulSliceAgainstFieldMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := make([]byte, 257)
+	rng.Read(src)
+	for _, c := range []byte{0, 1, 2, 3, 0x1D, 0x80, 0xFF} {
+		dst := make([]byte, len(src))
+		MulSliceAssign(c, src, dst)
+		for i, s := range src {
+			if want := Mul(c, s); dst[i] != want {
+				t.Fatalf("c=%d src[%d]=%d: got %d want %d", c, i, s, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestSliceKernelLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":       func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulSliceAssign": func() { MulSliceAssign(2, make([]byte, 3), make([]byte, 4)) },
+		"XorSlice":       func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

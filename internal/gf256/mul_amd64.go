@@ -1,0 +1,34 @@
+//go:build amd64
+
+package gf256
+
+// The amd64 fast path multiplies 16 bytes per instruction group with
+// PSHUFB nibble tables, the technique used by production erasure
+// coders in the Jerasure/klauspost lineage (and by ISA-L): by
+// GF(2)-linearity, c*x == c*(x & 0x0F) ^ c*(x & 0xF0), so one 16-entry
+// table per nibble half turns the multiply into two byte shuffles and
+// an XOR. PSHUFB needs SSSE3, which is detected once at init; every
+// other path (tail bytes, short slices, other GOARCHes) uses the
+// portable word kernel, and the outputs are byte-identical because the
+// nibble tables are derived from the same multiplication row.
+
+// cpuid executes the CPUID instruction for the given leaf (sub-leaf 0).
+// Implemented in mul_amd64.s.
+func cpuid(op uint32) (eax, ebx, ecx, edx uint32)
+
+// gfMulXorNib computes dst[i] ^= tab-multiply(src[i]) over len(src)
+// bytes, which must be a multiple of 16 and equal len(dst).
+// Implemented in mul_amd64.s.
+func gfMulXorNib(tab *[32]byte, src, dst []byte)
+
+// gfMulNib computes dst[i] = tab-multiply(src[i]) (overwrite, not
+// accumulate) with the same contract as gfMulXorNib.
+// Implemented in mul_amd64.s.
+func gfMulNib(tab *[32]byte, src, dst []byte)
+
+// useAsm reports whether the CPU supports SSSE3 (CPUID leaf 1, ECX bit
+// 9). amd64 guarantees SSE2 only, so PSHUFB must be feature-checked.
+var useAsm = func() bool {
+	_, _, ecx, _ := cpuid(1)
+	return ecx&(1<<9) != 0
+}()

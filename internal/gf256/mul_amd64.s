@@ -1,0 +1,91 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(op uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	XORL CX, CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func gfMulXorNib(tab *[32]byte, src, dst []byte)
+//
+// dst[i] ^= mul(src[i]) for len(src) bytes (a multiple of 16).
+// tab[0:16] holds the products of the low nibble values, tab[16:32]
+// the products of the high nibble values (already shifted into place
+// when the table was built): mul(x) = tab[x&0x0F] ^ tab[16+(x>>4)].
+TEXT ·gfMulXorNib(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	MOVOU (AX), X0            // low-nibble product table
+	MOVOU 16(AX), X1          // high-nibble product table
+	MOVQ  $0x0F0F0F0F0F0F0F0F, AX
+	MOVQ  AX, X2
+	PUNPCKLQDQ X2, X2         // broadcast: 16 lanes of 0x0F
+	SHRQ $4, CX               // 16-byte blocks
+	JZ   xordone
+
+xorloop:
+	MOVOU (SI), X3            // 16 source bytes
+	MOVOU X3, X4
+	PAND  X2, X3              // low nibbles
+	PSRLW $4, X4
+	PAND  X2, X4              // high nibbles
+	MOVOU X0, X5
+	MOVOU X1, X6
+	PSHUFB X3, X5             // products of the low halves
+	PSHUFB X4, X6             // products of the high halves
+	PXOR  X6, X5              // mul(src)
+	MOVOU (DI), X7
+	PXOR  X7, X5              // accumulate into dst
+	MOVOU X5, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	DECQ  CX
+	JNZ   xorloop
+
+xordone:
+	RET
+
+// func gfMulNib(tab *[32]byte, src, dst []byte)
+//
+// dst[i] = mul(src[i]) — the overwrite variant of gfMulXorNib.
+TEXT ·gfMulNib(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	MOVOU (AX), X0
+	MOVOU 16(AX), X1
+	MOVQ  $0x0F0F0F0F0F0F0F0F, AX
+	MOVQ  AX, X2
+	PUNPCKLQDQ X2, X2
+	SHRQ $4, CX
+	JZ   done
+
+loop:
+	MOVOU (SI), X3
+	MOVOU X3, X4
+	PAND  X2, X3
+	PSRLW $4, X4
+	PAND  X2, X4
+	MOVOU X0, X5
+	MOVOU X1, X6
+	PSHUFB X3, X5
+	PSHUFB X4, X6
+	PXOR  X6, X5
+	MOVOU X5, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	DECQ  CX
+	JNZ   loop
+
+done:
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package gf256
+
+// Non-amd64 builds always take the portable word kernel; useAsm is a
+// constant false so the compiler removes the assembly branch entirely.
+const useAsm = false
+
+func gfMulXorNib(tab *[32]byte, src, dst []byte) {
+	panic("gf256: gfMulXorNib without asm support")
+}
+
+func gfMulNib(tab *[32]byte, src, dst []byte) {
+	panic("gf256: gfMulNib without asm support")
+}

@@ -232,10 +232,13 @@ func (c *Codec) Encode(w *bitio.Writer, s int) {
 // Decode reads one symbol from r. Invalid codes and truncated streams
 // return ErrCorrupt-wrapped errors.
 func (c *Codec) Decode(r *bitio.Reader) (int, error) {
-	// Fast path: one table lookup when enough bits remain and the code
-	// is short (the overwhelmingly common case for quantization codes).
-	if window, avail := r.Peek(lutBits); avail == lutBits {
-		if e := c.lut[window]; e.len != 0 {
+	// Fast path: one table lookup when the code is short (the
+	// overwhelmingly common case for quantization codes). Peek
+	// zero-pads past the end of the buffer, so near the tail the LUT
+	// entry is still authoritative as long as the matched code fits in
+	// the bits that are actually there.
+	if window, avail := r.Peek(lutBits); avail > 0 {
+		if e := c.lut[window]; e.len != 0 && int(e.len) <= avail {
 			_ = r.Skip(int(e.len)) // cannot fail: avail >= len
 			return int(e.sym), nil
 		}

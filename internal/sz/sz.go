@@ -361,14 +361,22 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 	binWrite(&payload, safecast.U32(len(unpred)))
 	if mr != nil {
 		binWrite(&payload, safecast.U32(len(mr.modes)))
+		// Pack the per-block mode flags 64 at a time through the bit
+		// writer's word path; the layout matches one WriteBit per flag.
 		var mw bitio.Writer
+		var acc uint64
+		nAcc := 0
 		for _, m := range mr.modes {
+			acc <<= 1
 			if m {
-				mw.WriteBit(1)
-			} else {
-				mw.WriteBit(0)
+				acc |= 1
+			}
+			if nAcc++; nAcc == 64 {
+				mw.WriteBits(acc, 64)
+				acc, nAcc = 0, 0
 			}
 		}
+		mw.WriteBits(acc, nAcc)
 		payload.Write(mw.Bytes())
 		binWrite(&payload, safecast.U32(len(mr.qcoeffs)))
 		for _, q := range mr.qcoeffs {

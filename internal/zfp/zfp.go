@@ -115,9 +115,9 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 		if opts.Param <= 0 || opts.Param > 64 {
 			return nil, fmt.Errorf("zfp: rate must be in (0, 64], got %g", opts.Param)
 		}
-		if min := minRate(newBlocker(dims).blockSize); opts.Param < min {
+		if floor := minRate(newBlocker(dims).blockSize); opts.Param < floor {
 			return nil, fmt.Errorf("zfp: rate %g cannot hold a block header; need >= %.3f for %dD data",
-				opts.Param, min, len(dims))
+				opts.Param, floor, len(dims))
 		}
 	case ModePrecision:
 		if opts.Param < 1 || opts.Param > intPrec || opts.Param != math.Trunc(opts.Param) {
