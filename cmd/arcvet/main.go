@@ -1,7 +1,10 @@
-// Command arcvet runs this repository's static-analysis suite: six
+// Command arcvet runs this repository's static-analysis suite: ten
 // repo-specific analyzers over type-checked packages, built entirely
 // on the standard library (see internal/analysis and
-// docs/STATIC_ANALYSIS.md).
+// docs/STATIC_ANALYSIS.md). Packages are analyzed in topological
+// import order, so facts exported about a dependency's functions
+// (may-panic, taint summaries, WaitGroup effects) are visible while
+// analyzing its dependents.
 //
 // Usage:
 //
@@ -9,32 +12,44 @@
 //
 // Package patterns are directories relative to the module root, with
 // "./..." (the default) expanding recursively. Findings print as
-// file:line:col: [analyzer] message; -json emits a machine-readable
-// array. Exit status is 0 when clean, 1 when findings are reported,
-// and 2 on usage or load errors.
+// file:line:col: [analyzer] message, sorted by (file, line, col,
+// analyzer) across all packages; -json emits the same ordering as a
+// machine-readable array. Exit status is 0 when clean, 1 when
+// findings are reported, and 2 on usage or load errors.
 //
 // Individual findings are waived inline with
 //
 //	//arcvet:ignore <analyzer> <justification>
 //
-// on the offending line or the line directly above it.
+// on the offending line, the line directly above it, or — when the
+// finding sits on a continuation line of a multi-line statement — the
+// statement's first line.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// say writes a line, explicitly discarding the write error: arcvet's
+// own output failing (closed pipe, full disk) must not change its
+// verdict, and the exit code is the contract.
+func say(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("arcvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
@@ -43,50 +58,50 @@ func run(args []string) int {
 	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			say(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 	analyzers, err := analysis.ByName(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arcvet:", err)
+		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arcvet:", err)
+		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
 	loader, err := analysis.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arcvet:", err)
+		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
 	dirs, err := analysis.ExpandPatterns(cwd, fs.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arcvet:", err)
+		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
 	res, err := analysis.Run(loader, dirs, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "arcvet:", err)
+		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if res.Diagnostics == nil {
 			res.Diagnostics = []analysis.Diagnostic{}
 		}
 		if err := enc.Encode(res.Diagnostics); err != nil {
-			fmt.Fprintln(os.Stderr, "arcvet:", err)
+			say(stderr, "arcvet: %v\n", err)
 			return 2
 		}
 	} else {
 		for _, d := range res.Diagnostics {
-			fmt.Println(d)
+			say(stdout, "%s\n", d)
 		}
-		fmt.Fprintf(os.Stderr, "arcvet: %d package(s), %d finding(s)\n", res.Packages, len(res.Diagnostics))
+		say(stderr, "arcvet: %d package(s), %d finding(s)\n", res.Packages, len(res.Diagnostics))
 	}
 	if len(res.Diagnostics) > 0 {
 		return 1

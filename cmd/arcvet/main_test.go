@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"testing"
+)
 
 func TestRunExitCodes(t *testing.T) {
 	cases := []struct {
@@ -17,7 +20,7 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := run(tc.args); got != tc.want {
+			if got := run(tc.args, io.Discard, io.Discard); got != tc.want {
 				t.Fatalf("run(%v) = %d, want %d", tc.args, got, tc.want)
 			}
 		})

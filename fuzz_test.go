@@ -8,6 +8,11 @@ package arc
 
 import (
 	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/bitio"
@@ -253,6 +258,146 @@ func FuzzBitIORoundTrip(f *testing.F) {
 		}
 		if _, err := r.ReadBit(); err == nil {
 			t.Fatal("read past end succeeded")
+		}
+	})
+}
+
+// corruptAllocBudget is the allocation ceiling for decoding one
+// corrupted stream: a fixed multiple of the input size plus slack for
+// fixed-size decode state (Huffman decode tables and LUT, flate
+// window, block scratch). The decoder hardening work (see
+// docs/DECODER_HARDENING.md) exists to keep every header-driven
+// allocation under this kind of bound.
+func corruptAllocBudget(inputLen int) uint64 {
+	return 4096*uint64(inputLen) + (8 << 20)
+}
+
+// decodeAllocDelta measures the bytes allocated while fn runs.
+// TotalAlloc is cumulative, so the delta is unaffected by garbage
+// collection in between.
+func decodeAllocDelta(fn func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// FuzzSZDecodeCorruptHeader flips bytes in the header regions of a
+// fixed valid SZ stream — both the outer lossless wrapper (magic +
+// payload length) and the inner header holding dims, counts, and
+// section lengths — and requires every mutation to decode to an error
+// or a clean result, never a panic, with allocations bounded by a
+// fixed multiple of the input size.
+func FuzzSZDecodeCorruptHeader(f *testing.F) {
+	field := make([]float64, 256)
+	for i := range field {
+		field[i] = math.Sin(float64(i) / 7)
+	}
+	valid, err := sz.Compress(field, []int{16, 16}, sz.Options{Mode: sz.ModeABS, ErrorBound: 0.01})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The inner payload is what the outer DEFLATE pass wraps; keeping
+	// it around lets the fuzz body corrupt the inner header directly
+	// instead of hoping a compressed-byte flip lands there.
+	inner := bytes.NewBuffer(nil)
+	fr := flate.NewReader(bytes.NewReader(valid[12:]))
+	if _, err := io.Copy(inner, fr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint16(4), byte(0xFF))  // outer payload length, low byte
+	f.Add(uint16(11), byte(0x7F)) // outer payload length, high byte
+	f.Add(uint16(0), byte(0x01))  // outer magic
+	f.Add(uint16(7), byte(0x20))  // inner ndims/dims region
+	f.Add(uint16(45), byte(0xFF)) // inner unpredictable/huffman counts
+	f.Fuzz(func(t *testing.T, pos uint16, mask byte) {
+		// Outer-header mutation.
+		data := append([]byte(nil), valid...)
+		span := len(data)
+		if span > 64 {
+			span = 64
+		}
+		data[int(pos)%span] ^= mask
+		if delta := decodeAllocDelta(func() {
+			_, _, _ = sz.Decompress(data)
+			_, _, _ = sz.DecompressRegions(data, 1)
+		}); delta > corruptAllocBudget(len(data)) {
+			t.Fatalf("outer-corrupted decode allocated %d bytes for a %d-byte input", delta, len(data))
+		}
+
+		// Inner-header mutation: corrupt the pre-DEFLATE bytes, then
+		// rebuild a well-formed lossless wrapper around them so the
+		// parser sees the corrupted metadata itself.
+		innerMut := append([]byte(nil), inner.Bytes()...)
+		span = len(innerMut)
+		if span > 64 {
+			span = 64
+		}
+		innerMut[int(pos)%span] ^= mask
+		var rewrapped bytes.Buffer
+		rewrapped.WriteString("SZG1")
+		var lenField [8]byte
+		binary.LittleEndian.PutUint64(lenField[:], uint64(len(innerMut)))
+		rewrapped.Write(lenField[:])
+		fw, err := flate.NewWriter(&rewrapped, flate.BestSpeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(innerMut); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data = rewrapped.Bytes()
+		if delta := decodeAllocDelta(func() {
+			_, _, _ = sz.Decompress(data)
+		}); delta > corruptAllocBudget(len(data)) {
+			t.Fatalf("inner-corrupted decode allocated %d bytes for a %d-byte input", delta, len(data))
+		}
+	})
+}
+
+// FuzzZFPDecodeCorruptHeader is the ZFP counterpart: the header
+// (magic, version, mode, dims, param) is stored uncompressed, so a
+// direct byte flip reaches every field. Both the plain and the
+// progressive decode paths must fail with a bounded error.
+func FuzzZFPDecodeCorruptHeader(f *testing.F) {
+	field := make([]float64, 256)
+	for i := range field {
+		field[i] = float64(i) * 0.5
+	}
+	var streams [][]byte
+	for _, opts := range []zfp.Options{
+		{Mode: zfp.ModeAccuracy, Param: 0.01},
+		{Mode: zfp.ModeRate, Param: 8},
+	} {
+		valid, err := zfp.Compress(field, []int{16, 16}, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		streams = append(streams, valid)
+	}
+	f.Add(uint16(5), byte(0xFF))  // mode byte
+	f.Add(uint16(6), byte(0x03))  // ndims
+	f.Add(uint16(7), byte(0x80))  // dim 0, low byte
+	f.Add(uint16(10), byte(0x10)) // dim 0, high byte
+	f.Add(uint16(15), byte(0x7F)) // param bits
+	f.Fuzz(func(t *testing.T, pos uint16, mask byte) {
+		for _, valid := range streams {
+			data := append([]byte(nil), valid...)
+			span := len(data)
+			if span > 23 { // magic(4)+ver+mode+ndims+2*dim(4)+param(8)
+				span = 23
+			}
+			data[int(pos)%span] ^= mask
+			if delta := decodeAllocDelta(func() {
+				_, _, _ = zfp.Decompress(data)
+				_, _, _ = zfp.DecompressProgressive(data, 4, 1)
+			}); delta > corruptAllocBudget(len(data)) {
+				t.Fatalf("corrupted decode allocated %d bytes for a %d-byte input", delta, len(data))
+			}
 		}
 	})
 }

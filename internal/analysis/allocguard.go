@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allocguard reports a value decoded from untrusted bytes flowing
+// into an allocation size or an io read bound without an intervening
+// comparison against a declared cap. One flipped header bit in a
+// compressed stream must never be able to demand gigabytes before
+// the decoder renders a verdict.
+func init() {
+	Register(&Analyzer{
+		Name: "allocguard",
+		Doc: "an allocation size (make length/capacity, append in a wire-counted loop) or io read bound " +
+			"(io.ReadFull slice bound, io.CopyN count) derives from untrusted input — binary.*Uint*, " +
+			"bitio reads, huffman-decoded symbols, or a fact-summarized call — with no bounding " +
+			"comparison between the decode and the allocation",
+		Run: runAllocGuard,
+	})
+}
+
+func runAllocGuard(pass *Pass) error {
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			// Test and fuzz harnesses allocate from their own inputs
+			// on purpose.
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hooks := &taintHooks{
+				makeSize: func(pos token.Pos, origin string) {
+					pass.Reportf(pos, "make size derives from untrusted input (%s) without a bounding comparison", origin)
+				},
+				readBound: func(pos token.Pos, what, origin string) {
+					pass.Reportf(pos, "%s derives from untrusted input (%s) without a bounding comparison", what, origin)
+				},
+				loopAppend: func(pos token.Pos, origin string) {
+					pass.Reportf(pos, "append grows across a loop whose trip count derives from untrusted input (%s) without a bounding comparison", origin)
+				},
+				paramAlloc: func(pos token.Pos, callee *types.Func, origin string) {
+					pass.Reportf(pos, "untrusted value (%s) reaches an unguarded allocation inside %s", origin, callee.Name())
+				},
+			}
+			scanTaint(pass.Info, pass.Facts, fd, hooks)
+		}
+	}
+	return nil
+}

@@ -36,6 +36,12 @@ type Pass struct {
 	// packages keep their ".test" suffix-free path with test files
 	// merged in.
 	PkgPath string
+	// Facts is the run-wide fact store. Units are analyzed in
+	// topological import order, so facts exported while analyzing a
+	// dependency are visible here when its dependents run.
+	Facts *FactStore
+	// Graph is the whole-repo call graph over every loaded unit.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -43,6 +49,17 @@ type Pass struct {
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a diagnostic at an already-resolved position. The
+// Finish phase reports from serialized facts, which carry positions
+// as file/line/column rather than token.Pos.
+func (p *Pass) ReportAt(position token.Position, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
@@ -59,6 +76,11 @@ type Analyzer struct {
 	// empty list means "run everywhere".
 	Packages []string
 	Run      func(*Pass) error
+	// Finish, when set, runs once after every unit has been analyzed,
+	// with the complete fact store and call graph. The Pass carries
+	// no files or type info — Finish is for whole-repo conclusions
+	// (e.g. reachability over exported facts).
+	Finish func(*Pass) error
 }
 
 // AppliesTo reports whether the analyzer examines the given package.

@@ -382,8 +382,8 @@ func f() {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 7", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 10", len(all), err)
 	}
 	two, err := analysis.ByName("bitwidth, mathbits")
 	if err != nil || len(two) != 2 {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -13,44 +14,87 @@ type Result struct {
 	// Packages counts the units (including external test packages)
 	// that were loaded and checked.
 	Packages int
+	// Facts is the run's fact store, exposed for tests and debugging.
+	Facts *FactStore
+	// Graph is the whole-repo call graph.
+	Graph *CallGraph
 }
 
-// Run loads every directory and applies the given analyzers,
-// returning position-sorted, suppression-filtered diagnostics.
+// Run loads every directory, orders the resulting units
+// topologically by import dependency, builds the call graph and
+// taint summaries, applies the given analyzers unit by unit, then
+// runs each analyzer's Finish phase over the accumulated facts. It
+// returns position-sorted, suppression-filtered diagnostics.
 func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) {
 	res := &Result{}
+	var units []*Unit
 	for _, dir := range dirs {
-		units, err := loader.LoadDir(dir)
+		us, err := loader.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		for _, unit := range units {
-			res.Packages++
-			sup, bad := collectSuppressions(loader, unit.Files)
-			res.Diagnostics = append(res.Diagnostics, bad...)
-			var diags []Diagnostic
-			for _, a := range analyzers {
-				if !a.AppliesTo(unit.Path) {
-					continue
-				}
-				pass := &Pass{
-					Analyzer: a,
-					Fset:     loader.Fset,
-					Files:    unit.Files,
-					Pkg:      unit.Pkg,
-					Info:     unit.Info,
-					PkgPath:  unit.Path,
-					diags:    &diags,
-				}
-				if err := a.Run(pass); err != nil {
-					return nil, fmt.Errorf("%s on %s: %w", a.Name, unit.Path, err)
-				}
+		units = append(units, us...)
+	}
+	res.Packages = len(units)
+	units = topoSortUnits(units)
+
+	res.Graph = BuildCallGraph(units)
+	res.Facts = NewFactStore()
+
+	// Suppression directives and statement spans come from every
+	// unit up front: Finish-phase diagnostics may land in any file.
+	sup := suppressions{}
+	spans := newStmtSpans(loader.Fset)
+	var bad []Diagnostic
+	for _, unit := range units {
+		b := collectSuppressions(loader, unit.Files, sup)
+		bad = append(bad, b...)
+		spans.add(unit.Files)
+	}
+	res.Diagnostics = append(res.Diagnostics, bad...)
+
+	var diags []Diagnostic
+	for _, unit := range units {
+		summarizeUnitTaint(loader.Fset, unit, res.Facts)
+		for _, a := range analyzers {
+			if !a.AppliesTo(unit.Path) {
+				continue
 			}
-			for _, d := range diags {
-				if !sup.matches(d) {
-					res.Diagnostics = append(res.Diagnostics, d)
-				}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     loader.Fset,
+				Files:    unit.Files,
+				Pkg:      unit.Pkg,
+				Info:     unit.Info,
+				PkgPath:  unit.Path,
+				Facts:    res.Facts,
+				Graph:    res.Graph,
+				diags:    &diags,
 			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, unit.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     loader.Fset,
+			Facts:    res.Facts,
+			Graph:    res.Graph,
+			diags:    &diags,
+		}
+		if err := a.Finish(pass); err != nil {
+			return nil, fmt.Errorf("%s finish: %w", a.Name, err)
+		}
+	}
+
+	for _, d := range diags {
+		if !sup.matches(d, spans) {
+			res.Diagnostics = append(res.Diagnostics, d)
 		}
 	}
 	for i := range res.Diagnostics {
@@ -73,17 +117,143 @@ func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) 
 	return res, nil
 }
 
+// topoSortUnits orders units so every unit follows the units it
+// imports (Kahn's algorithm; ties break on import path so the order
+// is deterministic). External test units depend on their base unit.
+func topoSortUnits(units []*Unit) []*Unit {
+	index := map[string]int{}
+	for i, u := range units {
+		index[u.Path] = i
+	}
+	indeg := make([]int, len(units))
+	dependents := make([][]int, len(units))
+	addEdge := func(from, to int) { // from depends on to
+		dependents[to] = append(dependents[to], from)
+		indeg[from]++
+	}
+	for i, u := range units {
+		for _, imp := range u.Pkg.Imports() {
+			if j, ok := index[imp.Path()]; ok && j != i {
+				addEdge(i, j)
+			}
+		}
+		if base, ok := strings.CutSuffix(u.Path, "_test"); ok {
+			if j, ok := index[base]; ok && j != i {
+				addEdge(i, j)
+			}
+		}
+	}
+	var ready []int
+	for i := range units {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	byPath := func(a, b int) bool { return units[a].Path < units[b].Path }
+	sort.Slice(ready, func(i, j int) bool { return byPath(ready[i], ready[j]) })
+	var order []*Unit
+	for len(ready) > 0 {
+		i := ready[0]
+		ready = ready[1:]
+		order = append(order, units[i])
+		released := false
+		for _, dep := range dependents[i] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+				released = true
+			}
+		}
+		if released {
+			sort.Slice(ready, func(a, b int) bool { return byPath(ready[a], ready[b]) })
+		}
+	}
+	// Import cycles cannot occur in compiled Go; if something slipped
+	// through, keep the leftovers rather than dropping units.
+	if len(order) < len(units) {
+		seen := map[*Unit]bool{}
+		for _, u := range order {
+			seen[u] = true
+		}
+		for _, u := range units {
+			if !seen[u] {
+				order = append(order, u)
+			}
+		}
+	}
+	return order
+}
+
+// stmtSpans indexes the line spans of every statement (and top-level
+// declaration) so a waiver directive anchored to the first line of a
+// multi-line statement covers findings on its continuation lines.
+type stmtSpans struct {
+	fset  *token.FileSet
+	files map[string][]lineSpan
+}
+
+type lineSpan struct{ start, end int }
+
+func newStmtSpans(fset *token.FileSet) *stmtSpans {
+	return &stmtSpans{fset: fset, files: map[string][]lineSpan{}}
+}
+
+func (ss *stmtSpans) add(files []*ast.File) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, *ast.GenDecl, *ast.ValueSpec:
+				start := ss.fset.Position(n.Pos())
+				end := ss.fset.Position(n.End())
+				if end.Line > start.Line {
+					ss.files[start.Filename] = append(ss.files[start.Filename], lineSpan{start.Line, end.Line})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stmtStart returns the first line of the innermost multi-line
+// statement covering (file, line), or 0 when the line is not inside
+// one. "Innermost" keeps a directive on an assignment from waiving an
+// entire enclosing block.
+func (ss *stmtSpans) stmtStart(file string, line int) int {
+	best := lineSpan{}
+	found := false
+	for _, sp := range ss.files[file] {
+		if line < sp.start || line > sp.end {
+			continue
+		}
+		if !found || sp.end-sp.start < best.end-best.start ||
+			(sp.end-sp.start == best.end-best.start && sp.start > best.start) {
+			best, found = sp, true
+		}
+	}
+	if !found {
+		return 0
+	}
+	return best.start
+}
+
 // suppressions maps file -> line -> analyzer names silenced there. A
-// finding is silenced when an ignore directive sits on its line or on
-// the line directly above.
+// finding is silenced when an ignore directive sits on its line, on
+// the line directly above, or — for findings inside a multi-line
+// statement — on the statement's first line or the line above that.
 type suppressions map[string]map[int]map[string]bool
 
-func (s suppressions) matches(d Diagnostic) bool {
+func (s suppressions) matches(d Diagnostic, spans *stmtSpans) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+	candidates := []int{d.Pos.Line, d.Pos.Line - 1}
+	if spans != nil {
+		if start := spans.stmtStart(d.Pos.Filename, d.Pos.Line); start > 0 && start != d.Pos.Line {
+			candidates = append(candidates, start, start-1)
+		}
+	}
+	for _, line := range candidates {
 		if names := lines[line]; names != nil && names[d.Analyzer] {
 			return true
 		}
@@ -91,11 +261,11 @@ func (s suppressions) matches(d Diagnostic) bool {
 	return false
 }
 
-// collectSuppressions scans comments for //arcvet:ignore directives.
-// Malformed directives (no analyzer named, or an unknown analyzer)
-// become diagnostics themselves so waivers stay auditable.
-func collectSuppressions(loader *Loader, files []*ast.File) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+// collectSuppressions scans comments for //arcvet:ignore directives,
+// accumulating them into sup. Malformed directives (no analyzer
+// named, or an unknown analyzer) become diagnostics themselves so
+// waivers stay auditable.
+func collectSuppressions(loader *Loader, files []*ast.File, sup suppressions) []Diagnostic {
 	var bad []Diagnostic
 	known := map[string]bool{}
 	for _, a := range All() {
@@ -138,5 +308,5 @@ func collectSuppressions(loader *Loader, files []*ast.File) (suppressions, []Dia
 			}
 		}
 	}
-	return sup, bad
+	return bad
 }

@@ -158,7 +158,16 @@ func DecodeContainer(encoded []byte, workers int) (*DecodeResult, error) {
 	return decodeContainer(encoded, workers)
 }
 
-func decodeContainer(encoded []byte, workers int) (*DecodeResult, error) {
+func decodeContainer(encoded []byte, workers int) (res *DecodeResult, err error) {
+	// A corrupted container can, in principle, drive the ecc
+	// constructors or codecs into an internal invariant panic. The
+	// decode boundary turns that into a bounded error: callers asked
+	// for a verdict on untrusted bytes, not a crash.
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("%w: decoder panic: %v", ErrContainer, p)
+		}
+	}()
 	h, payload, err := unwrap(encoded)
 	if err != nil {
 		return nil, err
@@ -175,7 +184,7 @@ func decodeContainer(encoded []byte, workers int) (*DecodeResult, error) {
 		return nil, fmt.Errorf("%w: %v", ErrContainer, err)
 	}
 	data, rep, derr := code.Decode(payload, h.OrigLen)
-	res := &DecodeResult{Data: data, Config: cfg, Report: rep}
+	res = &DecodeResult{Data: data, Config: cfg, Report: rep}
 	if derr != nil {
 		return res, derr
 	}

@@ -454,7 +454,14 @@ func (cr *ChunkReader) produce() {
 // decodeChunk is the decode-worker body: verify and repair one chunk.
 // An ecc error (e.g. uncorrectable damage) is returned alongside the
 // best-effort statistics.
-func (cr *ChunkReader) decodeChunk(c encChunk) (decChunk, error) {
+func (cr *ChunkReader) decodeChunk(c encChunk) (dec decChunk, err error) {
+	// Same boundary as decodeContainer: a corrupted chunk header must
+	// surface as an error from the pipeline, never panic a worker.
+	defer func() {
+		if p := recover(); p != nil {
+			dec, err = decChunk{}, fmt.Errorf("%w: decoder panic: %v", ErrContainer, p)
+		}
+	}()
 	code, err := cr.codecs.get(c.h.config(), cr.workers, c.h.DevSize)
 	if err != nil {
 		return decChunk{}, fmt.Errorf("%w: %v", ErrContainer, err)
@@ -477,14 +484,44 @@ func (cr *ChunkReader) readChunk() (encChunk, error) {
 	if err != nil {
 		return encChunk{}, err
 	}
-	if h.EncLen > maxChunkPayload {
+	if h.EncLen < 0 || h.EncLen > maxChunkPayload {
 		return encChunk{}, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
 	}
-	payload := make([]byte, h.EncLen)
-	if _, err := io.ReadFull(cr.r, payload); err != nil {
+	payload, err := readCapped(cr.r, h.EncLen)
+	if err != nil {
 		return encChunk{}, fmt.Errorf("%w: truncated chunk payload: %v", ErrContainer, err)
 	}
 	return encChunk{h: h, payload: payload}, nil
+}
+
+// directReadCap is the largest chunk payload readCapped pre-sizes in a
+// single allocation; larger claims grow geometrically as bytes
+// actually arrive.
+const directReadCap = 1 << 20
+
+// readCapped reads exactly n bytes from r. Pre-sizing the buffer from
+// the header would let a forged (CRC-colliding) EncLen allocate up to
+// maxChunkPayload from a short stream; growing as data arrives keeps
+// the cost proportional to the bytes the reader really delivers.
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	if n <= directReadCap {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, directReadCap)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	for len(buf) < n {
+		grown := make([]byte, min(len(buf)*2, n))
+		copy(grown, buf)
+		if _, err := io.ReadFull(r, grown[len(buf):]); err != nil {
+			return nil, err
+		}
+		buf = grown
+	}
+	return buf, nil
 }
 
 // shutdown cancels and joins the pipelined machinery; safe to call on

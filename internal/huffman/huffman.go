@@ -238,7 +238,10 @@ func (c *Codec) Decode(r *bitio.Reader) (int, error) {
 	// entry is still authoritative as long as the matched code fits in
 	// the bits that are actually there.
 	if window, avail := r.Peek(lutBits); avail > 0 {
-		if e := c.lut[window]; e.len != 0 && int(e.len) <= avail {
+		// The mask is a no-op by Peek's contract (window < 1<<lutBits)
+		// but makes the bound explicit: no wire-derived window can
+		// index past the 1<<lutBits-entry table.
+		if e := c.lut[window&(1<<lutBits-1)]; e.len != 0 && int(e.len) <= avail {
 			_ = r.Skip(int(e.len)) // cannot fail: avail >= len
 			return int(e.sym), nil
 		}
@@ -283,8 +286,21 @@ func (c *Codec) WriteTable(w *bitio.Writer) {
 const maxAlphabet = 1 << 26
 
 // ReadTable deserializes a code table written by WriteTable and
-// rebuilds decode state, validating as it goes.
+// rebuilds decode state, validating as it goes. It accepts any
+// alphabet up to maxAlphabet; decoders that know their alphabet size
+// should prefer ReadTableMax.
 func ReadTable(r *bitio.Reader) (*Codec, error) {
+	return ReadTableMax(r, maxAlphabet)
+}
+
+// ReadTableMax is ReadTable with a caller-imposed alphabet bound: the
+// lengths/codes arrays are sized from the serialized symbol count, so
+// a decoder that knows its alphabet passes maxSyms to keep a corrupted
+// table header from allocating beyond it.
+func ReadTableMax(r *bitio.Reader, maxSyms int) (*Codec, error) {
+	if maxSyms <= 0 || maxSyms > maxAlphabet {
+		maxSyms = maxAlphabet
+	}
 	nsym, err := r.ReadBits(32)
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
@@ -293,8 +309,14 @@ func ReadTable(r *bitio.Reader) (*Codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated table", ErrCorrupt)
 	}
-	if nsym == 0 || nsym > maxAlphabet || nused > nsym {
+	if nsym == 0 || nsym > uint64(maxSyms) || nused > nsym { //arcvet:ignore mathbits maxSyms is clamped to (0, maxAlphabet] above
 		return nil, fmt.Errorf("%w: implausible table header (nsym=%d nused=%d)", ErrCorrupt, nsym, nused)
+	}
+	// Each used-symbol entry is serialized as 32+6 bits; a stream too
+	// short to hold the claimed count is corrupt, and rejecting it here
+	// avoids the pointless entry-by-entry walk.
+	if need := nused * 38; need > uint64(r.Remaining()) { //arcvet:ignore mathbits Remaining is a non-negative bit count
+		return nil, fmt.Errorf("%w: table claims %d entries but only %d bits remain", ErrCorrupt, nused, r.Remaining())
 	}
 	c := &Codec{
 		NumSymbols: int(nsym), //arcvet:ignore mathbits nsym <= maxAlphabet is validated above

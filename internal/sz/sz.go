@@ -449,15 +449,46 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 		return nil, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	payloadLen := binary.LittleEndian.Uint64(buf[len(magic):])
+	comp := buf[len(magic)+8:]
 	if payloadLen > uint64(maxElements)*10+(1<<20) {
 		return nil, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorrupt, payloadLen)
 	}
-	fr := flate.NewReader(bytes.NewReader(buf[len(magic)+8:]))
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(fr, payload); err != nil {
+	if payloadLen > uint64(len(comp))*maxDeflateRatio+64 {
+		return nil, nil, fmt.Errorf("%w: payload length %d exceeds what %d compressed bytes can inflate to", ErrCorrupt, payloadLen, len(comp))
+	}
+	payload, err := inflate(comp, int(payloadLen)) //arcvet:ignore mathbits payloadLen <= maxElements*10+1MiB < 2^31, checked above
+	if err != nil {
 		return nil, nil, fmt.Errorf("%w: lossless stage: %v", ErrCorrupt, err)
 	}
 	return parsePayload(payload)
+}
+
+// maxDeflateRatio bounds DEFLATE's expansion: no deflate stream
+// inflates to more than ~1032x its compressed size, so a header
+// claiming more is corrupt. Rejecting it up front keeps decoder
+// allocations proportional to the input actually supplied.
+const maxDeflateRatio = 1032
+
+// inflate decompresses src, expecting exactly want bytes. The output
+// buffer grows geometrically as bytes actually arrive instead of being
+// pre-sized from the header, so a corrupted length field costs memory
+// proportional to what the DEFLATE stream really yields.
+func inflate(src []byte, want int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(src))
+	buf := make([]byte, min(want, 64<<10))
+	read := 0
+	for {
+		if _, err := io.ReadFull(fr, buf[read:]); err != nil {
+			return nil, err
+		}
+		read = len(buf)
+		if read == want {
+			return buf, nil
+		}
+		grown := make([]byte, min(read*2, want))
+		copy(grown, buf)
+		buf = grown
+	}
 }
 
 func parsePayload(p []byte) ([]float64, []int, error) {
@@ -542,10 +573,18 @@ func parsePayload(p []byte) ([]float64, []int, error) {
 	if rd.err != nil {
 		return nil, nil, fmt.Errorf("%w: truncated huffman section", ErrCorrupt)
 	}
+	// Every decoded symbol costs at least one bit, so the Huffman
+	// section must hold at least n bits; a shorter section means the
+	// count metadata is corrupt. Checking before sizing the symbol and
+	// reconstruction buffers keeps allocations proportional to the
+	// stream instead of to header-claimed dimensions.
+	if n > 8*huffLen {
+		return nil, nil, wrapCorrupt("element count %d exceeds huffman section capacity (%d bytes)", n, huffLen)
+	}
 	syms := make([]int32, n)
 	if n > 0 {
 		br := bitio.NewReader(hb)
-		codec, err := huffman.ReadTable(br)
+		codec, err := huffman.ReadTableMax(br, 2*quantRadius)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}

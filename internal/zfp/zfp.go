@@ -295,6 +295,13 @@ func decompress(buf []byte, maxPlanes, workers int) ([]float64, []int, Mode, err
 	headerLen := len(buf) - rd.Len()
 	payload := buf[headerLen:]
 	bl := newBlocker(dims)
+	// Every block consumes at least one bit (the zero-block flag), so a
+	// payload shorter than numBlocks bits cannot be a valid stream.
+	// Rejecting it before sizing the output keeps allocations
+	// proportional to the input instead of to header-claimed dims.
+	if bl.numBlocks > 8*len(payload) {
+		return nil, nil, 0, fmt.Errorf("%w: %d blocks cannot fit in %d payload bytes", ErrCorrupt, bl.numBlocks, len(payload))
+	}
 	out := make([]float64, n)
 	if mode == ModeRate && opts.Workers > 1 && bl.numBlocks > 1 {
 		if err := decodeRateParallel(payload, out, bl, opts); err != nil {

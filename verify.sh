@@ -15,6 +15,9 @@ go vet ./...
 echo "== arcvet =="
 go run ./cmd/arcvet ./...
 
+echo "== arcvet self-analysis =="
+go run ./cmd/arcvet ./internal/analysis ./cmd/arcvet
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -32,6 +35,9 @@ fi
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== analyzer fixtures under race =="
+go test -race ./internal/analysis ./cmd/arcvet
 
 host_meta=$(go run ./cmd/benchmeta)
 
@@ -95,7 +101,7 @@ awk -v host="$host_meta" '
 echo "wrote BENCH_kernels.json"
 
 echo "== fuzz smoke (10s per target) =="
-for target in FuzzContainerDecode FuzzSZDecompress FuzzZFPDecompress FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined FuzzBitIORoundTrip; do
+for target in FuzzContainerDecode FuzzSZDecompress FuzzSZDecodeCorruptHeader FuzzZFPDecompress FuzzZFPDecodeCorruptHeader FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined FuzzBitIORoundTrip; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s .
 done
 
