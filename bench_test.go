@@ -436,6 +436,97 @@ func BenchmarkStreamPipelined(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamSteady measures the steady-state per-chunk cost of
+// the stream: one writer (and one reader) is reused across all b.N
+// iterations, so per-stream setup is amortized away and what remains
+// is the hot path the allocation budget applies to. ReportAllocs makes
+// allocs/op and B/op part of the recorded output; verify.sh gates
+// BENCH_stream.json on allocs/op staying within the steady-state
+// budget (see docs/ALLOCATIONS.md).
+func BenchmarkStreamSteady(b *testing.B) {
+	eng := &core.Engine{}
+	choice := core.Choice{Config: core.Config{Method: ReedSolomon, Param: 15}, Threads: 1}
+	const chunkSize = 256 << 10
+	chunk := make([]byte, chunkSize)
+	rand.New(rand.NewSource(23)).Read(chunk)
+
+	for _, pl := range []int{1, 4} {
+		pl := pl
+		opts := core.StreamOptions{ChunkSize: chunkSize, Pipeline: pl}
+		b.Run(fmt.Sprintf("encode/pipeline=%d", pl), func(b *testing.B) {
+			w, err := eng.NewChunkWriterChoice(io.Discard, choice, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			// Warm the buffer pools and per-worker scratch before counting.
+			for i := 0; i < 4*pl+8; i++ {
+				if _, err := w.Write(chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(chunkSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Write(chunk); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	var encoded bytes.Buffer
+	w, err := eng.NewChunkWriterChoice(&encoded, choice, core.StreamOptions{ChunkSize: chunkSize, Pipeline: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(chunk); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	for _, pl := range []int{1, 4} {
+		pl := pl
+		b.Run(fmt.Sprintf("decode/pipeline=%d", pl), func(b *testing.B) {
+			r := core.NewChunkReaderWith(&loopStream{stream: encoded.Bytes()}, 1,
+				core.StreamOptions{Pipeline: pl})
+			defer r.Close()
+			buf := make([]byte, chunkSize)
+			for i := 0; i < 4*pl+8; i++ {
+				if _, err := io.ReadFull(r, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(chunkSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := io.ReadFull(r, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// loopStream replays one encoded chunk stream forever, giving the
+// steady-state decode benchmark an endless well-formed input.
+type loopStream struct {
+	stream []byte
+	off    int
+}
+
+func (l *loopStream) Read(p []byte) (int, error) {
+	if l.off == len(l.stream) {
+		l.off = 0
+	}
+	n := copy(p, l.stream[l.off:])
+	l.off += n
+	return n, nil
+}
+
 // BenchmarkCompressorSZ measures the SZ-like substrate itself, the
 // input side of the whole pipeline.
 func BenchmarkCompressorSZ(b *testing.B) {

@@ -21,6 +21,7 @@ import (
 
 	arc "repro"
 	"repro/internal/ecc"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -53,7 +54,9 @@ func usage() {
   arc encode -in FILE -out FILE [-mem FRAC] [-bw MBS] [-ecc NAME] [-errors-per-mb N] [-threads N] [-chunk-kb N] [-pipeline N]
   arc decode -in FILE -out FILE [-threads N] [-pipeline N]
   arc verify -in FILE [-threads N] [-pipeline N]
-  arc inspect -in FILE`)
+  arc inspect -in FILE
+encode, decode, and verify also accept -cpuprofile FILE and
+-memprofile FILE to capture runtime/pprof profiles of the run.`)
 }
 
 func cmdEncode(args []string) error {
@@ -67,11 +70,17 @@ func cmdEncode(args []string) error {
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
 	chunkKB := fs.Int("chunk-kb", 0, "stream in chunks of this many KiB (0 = single container)")
 	pipeline := fs.Int("pipeline", 0, "chunks encoded concurrently (1 = sequential, 0 = auto)")
+	prof := profiling.AddFlags(fs)
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 
 	if *in == "" || *out == "" {
 		return errors.New("encode: -in and -out are required")
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	res := arc.AnyECC
 	if *eccName != "" {
 		m, err := parseMethod(*eccName)
@@ -127,10 +136,16 @@ func cmdDecode(args []string) error {
 	out := fs.String("out", "", "output file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
 	pipeline := fs.Int("pipeline", 0, "chunks decoded concurrently (1 = sequential, 0 = auto)")
+	prof := profiling.AddFlags(fs)
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" || *out == "" {
 		return errors.New("decode: -in and -out are required")
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	// The streaming reader handles both single containers and chunked
 	// streams; on uncorrectable damage, everything before the bad chunk
 	// has already been written (best effort), matching arc_decode.
@@ -197,10 +212,16 @@ func cmdVerify(args []string) error {
 	in := fs.String("in", "", "input file")
 	threads := fs.Int("threads", arc.AnyThreads, "maximum threads (0 = all)")
 	pipeline := fs.Int("pipeline", 0, "chunks verified concurrently (1 = sequential, 0 = auto)")
+	prof := profiling.AddFlags(fs)
 	_ = fs.Parse(args) // flag.ExitOnError: Parse exits instead of returning
 	if *in == "" {
 		return errors.New("verify: -in is required")
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	f, err := os.Open(*in)
 	if err != nil {
 		return err

@@ -172,3 +172,29 @@ func TestVerifyCleanAndDamaged(t *testing.T) {
 		t.Fatal("missing -in must fail")
 	}
 }
+
+func TestEncodeWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	enc := filepath.Join(dir, "enc.arc")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	data := bytes.Repeat([]byte("profile me "), 4000)
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdEncode([]string{"-in", in, "-out", enc, "-threads", "1",
+		"-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

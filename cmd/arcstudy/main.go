@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	arcstudy [-scale N] [-trials N] [-seed N] [-workers N] fig1|fig2|fig3|fig4|fig5|all
+//	arcstudy [-scale N] [-trials N] [-seed N] [-workers N] [-cpuprofile FILE] [-memprofile FILE] fig1|fig2|fig3|fig4|fig5|all
 //
 // Scale 1 keeps a full run under a minute on a laptop; the paper's
 // full-size datasets correspond to much larger scales (and hours of
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -33,9 +34,15 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "parallel trial workers")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	prof := profiling.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	render := func(t *experiments.Table) error {
 		if *csv {
 			return t.WriteCSV(out)

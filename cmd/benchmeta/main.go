@@ -1,15 +1,34 @@
-// Command benchmeta prints host metadata as a single-line JSON object.
-// verify.sh embeds it in BENCH_stream.json and BENCH_kernels.json so
-// recorded throughput numbers are self-explanatory: a "host_cores": 1
-// artifact reads very differently from an 8-core one, and kernel MB/s
-// only compares across runs on the same GOARCH and Go version.
+// Command benchmeta turns `go test -bench -benchmem` output into the
+// repository's recorded benchmark artifacts.
+//
+// With no arguments it prints host metadata as a single-line JSON
+// object (the original mode, still used standalone). With a subcommand
+// it reads benchmark output on stdin and writes one artifact to stdout:
+//
+//	go test -bench 'BenchmarkStream' -benchmem . | benchmeta stream  > BENCH_stream.json
+//	go test -bench 'BenchmarkKernel' -benchmem . | benchmeta kernels > BENCH_kernels.json
+//
+// Both subcommands record ns/op, MB/s, B/op, and allocs/op per
+// benchmark under a "host" header, and both gate: `stream` fails (exit
+// 1) when any steady-state benchmark exceeds the allocation budget or
+// the expected benchmarks are missing; `kernels` fails when a
+// word-level kernel misses its speedup floor over its scalar
+// reference. Host metadata is embedded so recorded numbers are
+// self-explanatory: a "cores": 1 artifact reads very differently from
+// an 8-core one, and kernel MB/s only compares across runs on the same
+// GOARCH and Go version.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"runtime"
+	"strconv"
+	"strings"
 )
 
 type hostMeta struct {
@@ -19,16 +38,231 @@ type hostMeta struct {
 	GoVersion string `json:"go_version"`
 }
 
-func main() {
-	out, err := json.Marshal(hostMeta{
+func host() hostMeta {
+	return hostMeta{
 		Cores:     runtime.NumCPU(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		GoVersion: runtime.Version(),
-	})
+	}
+}
+
+// benchResult is one parsed benchmark line. bytes_per_op and
+// allocs_per_op are -1 when the run lacked -benchmem, so a genuine
+// zero-allocation result is distinguishable from "not measured".
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// gomaxprocsSuffix strips the trailing -N GOMAXPROCS decoration that
+// `go test` appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// parseBench reads `go test -bench` output and returns the benchmark
+// lines whose name starts with prefix. Lines that are not benchmark
+// results (headers, PASS, ok) are skipped.
+func parseBench(r io.Reader, prefix string) ([]benchResult, error) {
+	sc := bufio.NewScanner(r)
+	var out []benchResult
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], prefix) {
+			continue
+		}
+		it, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchResult{
+			Name:        gomaxprocsSuffix.ReplaceAllString(f[0], ""),
+			Iterations:  it,
+			BytesPerOp:  -1,
+			AllocsPerOp: -1,
+		}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "MB/s":
+				b.MBPerS = v
+			case "B/op":
+				b.BytesPerOp = int64(v)
+			case "allocs/op":
+				b.AllocsPerOp = int64(v)
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+const (
+	// steadyAllocsMax is the steady-state allocation budget for the
+	// chunk hot path: every BenchmarkStreamSteady variant must stay at
+	// or under this many allocs/op. See docs/ALLOCATIONS.md.
+	steadyAllocsMax = 2
+
+	secdedSpeedupMin = 3.0
+	gf256SpeedupMin  = 2.0
+)
+
+type streamArtifact struct {
+	Host       hostMeta           `json:"host"`
+	Note       string             `json:"note"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Targets    map[string]float64 `json:"targets"`
+}
+
+func runStream(in io.Reader, out, errw io.Writer) error {
+	benches, err := parseBench(in, "BenchmarkStream")
 	if err != nil {
+		return err
+	}
+	art := streamArtifact{
+		Host:       host(),
+		Note:       "pipeline>1 overlaps chunk encode/decode across cores; the >=1.5x speedup target applies on hosts with >=4 cores, single-core hosts show parity minus scheduling overhead. BenchmarkStreamSteady reuses one writer/reader across iterations and is gated on the steady-state allocation budget.",
+		Benchmarks: benches,
+		Targets:    map[string]float64{"SteadyStateAllocs_max": steadyAllocsMax},
+	}
+	if err := emit(out, art); err != nil {
+		return err
+	}
+
+	var pipelined, steadyEnc, steadyDec int
+	var over []string
+	for _, b := range benches {
+		switch {
+		case strings.HasPrefix(b.Name, "BenchmarkStreamPipelined/"):
+			pipelined++
+		case strings.HasPrefix(b.Name, "BenchmarkStreamSteady/encode"):
+			steadyEnc++
+		case strings.HasPrefix(b.Name, "BenchmarkStreamSteady/decode"):
+			steadyDec++
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkStreamSteady/") {
+			if b.AllocsPerOp < 0 {
+				return fmt.Errorf("stream gate FAILED: %s has no allocs/op column (run the bench with -benchmem)", b.Name)
+			}
+			if b.AllocsPerOp > steadyAllocsMax {
+				over = append(over, fmt.Sprintf("%s = %d allocs/op", b.Name, b.AllocsPerOp))
+			}
+		}
+	}
+	if pipelined == 0 || steadyEnc == 0 || steadyDec == 0 {
+		return fmt.Errorf("stream gate FAILED: expected BenchmarkStreamPipelined plus BenchmarkStreamSteady encode and decode results, got %d/%d/%d", pipelined, steadyEnc, steadyDec)
+	}
+	if len(over) > 0 {
+		return fmt.Errorf("stream allocation gate FAILED (budget %d allocs/op): %s", steadyAllocsMax, strings.Join(over, "; "))
+	}
+	_, err = fmt.Fprintf(errw, "stream gate OK: %d steady-state benchmarks within %d allocs/op\n", steadyEnc+steadyDec, steadyAllocsMax)
+	return err
+}
+
+type kernelsArtifact struct {
+	Host       hostMeta           `json:"host"`
+	Note       string             `json:"note"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+	Targets    map[string]float64 `json:"targets"`
+}
+
+func runKernels(in io.Reader, out, errw io.Writer) error {
+	benches, err := parseBench(in, "BenchmarkKernel")
+	if err != nil {
+		return err
+	}
+	mbps := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		mbps[b.Name] = b.MBPerS
+	}
+	speedups := make(map[string]float64)
+	for _, b := range benches {
+		base, ok := strings.CutSuffix(b.Name, "/word")
+		if !ok {
+			continue
+		}
+		scalar := mbps[base+"/scalar"]
+		if scalar <= 0 {
+			continue
+		}
+		speedups[strings.TrimPrefix(base, "BenchmarkKernel")] = round2(b.MBPerS / scalar)
+	}
+	art := kernelsArtifact{
+		Host:       host(),
+		Note:       "word/scalar pairs are measured in the same run; speedups are word MB/s over scalar MB/s",
+		Benchmarks: benches,
+		Speedups:   speedups,
+		Targets: map[string]float64{
+			"SECDED64Encode_min": secdedSpeedupMin,
+			"GF256MulSlice_min":  gf256SpeedupMin,
+		},
+	}
+	if err := emit(out, art); err != nil {
+		return err
+	}
+
+	secded, okS := speedups["SECDED64Encode"]
+	mul, okM := speedups["GF256MulSlice"]
+	if !okS || !okM {
+		return fmt.Errorf("kernel gate FAILED: missing word/scalar pair for SECDED64Encode or GF256MulSlice")
+	}
+	if secded < secdedSpeedupMin || mul < gf256SpeedupMin {
+		return fmt.Errorf("kernel gate FAILED: SECDED64Encode %.2fx (need %gx), GF256MulSlice %.2fx (need %gx)",
+			secded, secdedSpeedupMin, mul, gf256SpeedupMin)
+	}
+	_, err = fmt.Fprintf(errw, "kernel gate OK: SECDED64Encode %.2fx, GF256MulSlice %.2fx\n", secded, mul)
+	return err
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func emit(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(b))
+	return err
+}
+
+func run(args []string, in io.Reader, out, errw io.Writer) error {
+	if len(args) == 0 {
+		// Host-only mode stays single-line: callers embed it verbatim.
+		b, err := json.Marshal(host())
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(out, string(b))
+		return err
+	}
+	switch args[0] {
+	case "stream":
+		return runStream(in, out, errw)
+	case "kernels":
+		return runKernels(in, out, errw)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want stream or kernels, or no argument for host metadata)", args[0])
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchmeta:", err)
 		os.Exit(1)
 	}
-	fmt.Println(string(out))
 }

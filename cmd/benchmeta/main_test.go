@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const streamSample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamPipelined/encode/pipeline=1-4         	     100	   1714000 ns/op	 596.24 MB/s
+BenchmarkStreamPipelined/encode/pipeline=4-4         	      90	   2000000 ns/op	 510.91 MB/s
+BenchmarkStreamPipelined/decode/pipeline=1-4         	     500	    403000 ns/op	2535.29 MB/s
+BenchmarkStreamPipelined/decode/pipeline=4-4         	     450	    437000 ns/op	2340.05 MB/s
+BenchmarkStreamSteady/encode/pipeline=1-4            	     627	    544947 ns/op	 481.05 MB/s	      48 B/op	       1 allocs/op
+BenchmarkStreamSteady/encode/pipeline=4-4            	     630	    580148 ns/op	 451.86 MB/s	      48 B/op	       1 allocs/op
+BenchmarkStreamSteady/decode/pipeline=1-4            	    5623	     66874 ns/op	3919.99 MB/s	       0 B/op	       0 allocs/op
+BenchmarkStreamSteady/decode/pipeline=4-4            	    4180	     99921 ns/op	2623.51 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	1.760s
+`
+
+const kernelsSample = `BenchmarkKernelSECDED64Encode/scalar-1 	1000	 100 ns/op	 300.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelSECDED64Encode/word-1   	5000	  21 ns/op	1410.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelGF256MulSlice/scalar-1  	1000	 100 ns/op	 200.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelGF256MulSlice/word-1    	9000	  11 ns/op	1806.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelBitReader/word-1        	1000	 100 ns/op	 900.00 MB/s	0 B/op	0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(streamSample), "BenchmarkStream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8 {
+		t.Fatalf("parsed %d benchmarks, want 8", len(got))
+	}
+	first := got[0]
+	if first.Name != "BenchmarkStreamPipelined/encode/pipeline=1" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Iterations != 100 || first.NsPerOp != 1714000 || first.MBPerS != 596.24 {
+		t.Errorf("bad fields: %+v", first)
+	}
+	if first.BytesPerOp != -1 || first.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem columns should be -1, got %+v", first)
+	}
+	steady := got[4]
+	if steady.BytesPerOp != 48 || steady.AllocsPerOp != 1 {
+		t.Errorf("benchmem columns not parsed: %+v", steady)
+	}
+	if steady.MBPerS != 481.05 {
+		t.Errorf("MB/s not parsed alongside benchmem columns: %+v", steady)
+	}
+}
+
+func TestStreamArtifactAndGate(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := runStream(strings.NewReader(streamSample), &out, &errw); err != nil {
+		t.Fatalf("gate should pass on sample: %v", err)
+	}
+	var art streamArtifact
+	if err := json.Unmarshal(out.Bytes(), &art); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(art.Benchmarks) != 8 {
+		t.Errorf("artifact has %d benchmarks, want 8", len(art.Benchmarks))
+	}
+	if art.Targets["SteadyStateAllocs_max"] != steadyAllocsMax {
+		t.Errorf("targets = %v", art.Targets)
+	}
+	if art.Host.GoVersion == "" {
+		t.Error("host metadata missing")
+	}
+	if !strings.Contains(errw.String(), "stream gate OK") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestStreamGateFailsOverBudget(t *testing.T) {
+	over := strings.Replace(streamSample,
+		"      48 B/op	       1 allocs/op",
+		"    4096 B/op	      17 allocs/op", 1)
+	var out, errw bytes.Buffer
+	err := runStream(strings.NewReader(over), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "allocation gate FAILED") {
+		t.Fatalf("err = %v, want allocation gate failure", err)
+	}
+	if !strings.Contains(err.Error(), "17 allocs/op") {
+		t.Errorf("failure should name the offender: %v", err)
+	}
+}
+
+func TestStreamGateFailsWhenSteadyMissing(t *testing.T) {
+	var lines []string
+	for _, l := range strings.Split(streamSample, "\n") {
+		if !strings.Contains(l, "BenchmarkStreamSteady") {
+			lines = append(lines, l)
+		}
+	}
+	var out, errw bytes.Buffer
+	err := runStream(strings.NewReader(strings.Join(lines, "\n")), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "expected BenchmarkStreamPipelined") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
+func TestStreamGateFailsWithoutBenchmem(t *testing.T) {
+	stripped := streamSample
+	for _, cols := range []string{
+		"	      48 B/op	       1 allocs/op",
+		"	       0 B/op	       0 allocs/op",
+	} {
+		stripped = strings.ReplaceAll(stripped, cols, "")
+	}
+	var out, errw bytes.Buffer
+	err := runStream(strings.NewReader(stripped), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("err = %v, want missing allocs/op column failure", err)
+	}
+}
+
+func TestKernelsArtifactAndGate(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := runKernels(strings.NewReader(kernelsSample), &out, &errw); err != nil {
+		t.Fatalf("gate should pass on sample: %v", err)
+	}
+	var art kernelsArtifact
+	if err := json.Unmarshal(out.Bytes(), &art); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := art.Speedups["SECDED64Encode"]; got != 4.7 {
+		t.Errorf("SECDED64Encode speedup = %v, want 4.7", got)
+	}
+	if got := art.Speedups["GF256MulSlice"]; got != 9.03 {
+		t.Errorf("GF256MulSlice speedup = %v, want 9.03", got)
+	}
+	if _, ok := art.Speedups["BitReader"]; ok {
+		t.Error("word bench without a scalar pair must not produce a speedup")
+	}
+	if !strings.Contains(errw.String(), "kernel gate OK") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestKernelsGateFailsBelowFloor(t *testing.T) {
+	slow := strings.Replace(kernelsSample, "1410.00 MB/s", " 310.00 MB/s", 1)
+	var out, errw bytes.Buffer
+	err := runKernels(strings.NewReader(slow), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "kernel gate FAILED") {
+		t.Fatalf("err = %v, want kernel gate failure", err)
+	}
+}
+
+func TestKernelsGateFailsWhenPairMissing(t *testing.T) {
+	var lines []string
+	for _, l := range strings.Split(kernelsSample, "\n") {
+		if !strings.Contains(l, "GF256MulSlice/scalar") {
+			lines = append(lines, l)
+		}
+	}
+	var out, errw bytes.Buffer
+	err := runKernels(strings.NewReader(strings.Join(lines, "\n")), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "missing word/scalar pair") {
+		t.Fatalf("err = %v, want missing-pair failure", err)
+	}
+}
+
+func TestHostOnlyModeIsSingleLine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	s := strings.TrimRight(out.String(), "\n")
+	if strings.Contains(s, "\n") {
+		t.Errorf("host-only output must be a single line, got %q", s)
+	}
+	var h hostMeta
+	if err := json.Unmarshal([]byte(s), &h); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if h.Cores < 1 {
+		t.Errorf("cores = %d", h.Cores)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	err := run([]string{"bogus"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown subcommand") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "poolaudit",
+		Doc: "audits sync.Pool usage: flags Put calls whose argument aliases a " +
+			"value the function returns (the caller's buffer can be recycled " +
+			"and overwritten under it), Put of a bare slice value (boxes the " +
+			"header on every Put and invites aliasing bugs; pool a pointer " +
+			"wrapper instead), and Get results used without an immediate type " +
+			"assertion",
+		Run: runPoolAudit,
+	})
+}
+
+func runPoolAudit(pass *Pass) error {
+	// Get calls that appear directly under a type assertion are the
+	// sanctioned form; collect them first so the flat scan below can
+	// flag the rest.
+	asserted := map[*ast.CallExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok {
+				return true
+			}
+			if call, ok := ast.Unparen(ta.X).(*ast.CallExpr); ok && isPoolCall(pass.Info, call, "Get") {
+				asserted[call] = true
+			}
+			return true
+		})
+	}
+
+	enclosingFuncs(pass.Files, func(node ast.Node, body *ast.BlockStmt) {
+		// Objects whose storage may escape through this function's
+		// return values. Data flow through intermediate assignments is
+		// not tracked; the check catches the direct forms (return x,
+		// return x.f, return x[:n], return &T{x}).
+		returned := map[types.Object]bool{}
+		walkOwn(node, body, func(n ast.Node) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return
+			}
+			for _, res := range ret.Results {
+				collectAliasRoots(pass.Info, res, returned)
+			}
+		})
+		walkOwn(node, body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			switch {
+			case isPoolCall(pass.Info, call, "Get"):
+				if !asserted[call] {
+					pass.Reportf(call.Pos(), "result of sync.Pool.Get used without a type assertion; assert to the pooled type (and reset its contents) before use")
+				}
+			case isPoolCall(pass.Info, call, "Put") && len(call.Args) == 1:
+				arg := call.Args[0]
+				if t := pass.Info.TypeOf(arg); t != nil {
+					if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+						pass.Reportf(call.Pos(), "sync.Pool.Put of a slice value boxes the header on every Put; pool a pointer to a wrapper struct instead")
+					}
+				}
+				if root := aliasRoot(pass.Info, arg); root != nil && returned[root] {
+					pass.Reportf(call.Pos(), "sync.Pool.Put of %q, which aliases a value this function returns; the caller's data can be recycled and overwritten under it", root.Name())
+				}
+			}
+		})
+	})
+	return nil
+}
+
+// walkOwn walks the statements belonging to one function, stopping at
+// nested function literals (their returns and pool calls are audited
+// in their own scope by enclosingFuncs).
+func walkOwn(self ast.Node, body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != self {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isPoolCall reports whether call invokes the named method on a
+// sync.Pool (or *sync.Pool, or a type embedding one directly).
+func isPoolCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	return recv != nil && isSyncPool(recv.Type())
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+// aliasRoot resolves the base variable an expression's storage belongs
+// to: x, x.f, x[i], x[:n], *x, &x all root at x. Calls and literals
+// have no root (their results are fresh values as far as this audit
+// can tell).
+func aliasRoot(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if v, ok := info.ObjectOf(x).(*types.Var); ok {
+				return v
+			}
+			return nil
+		case *ast.SelectorExpr:
+			if _, isFunc := info.Uses[x.Sel].(*types.Func); isFunc {
+				return nil
+			}
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectAliasRoots records every variable whose storage a returned
+// expression may alias. It descends through composite literals and
+// operators but not through calls (a call's result is assumed fresh)
+// or function literals, and only variables of reference-carrying
+// types (slices, pointers, maps, and aggregates holding them) are
+// recorded — returning an int copied out of a pooled buffer aliases
+// nothing.
+func collectAliasRoots(info *types.Info, e ast.Expr, out map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr, *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			v, ok := info.ObjectOf(x).(*types.Var)
+			if ok && carriesReference(v.Type(), 0) {
+				out[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// carriesReference reports whether values of t share underlying
+// storage when copied.
+func carriesReference(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesReference(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return carriesReference(u.Elem(), depth+1)
+	}
+	return false
+}

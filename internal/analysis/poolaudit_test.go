@@ -1,0 +1,90 @@
+package analysis_test
+
+import "testing"
+
+func TestPoolAudit(t *testing.T) {
+	files := map[string]string{"p/p.go": `package p
+
+import "sync"
+
+type wrap struct{ b []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(wrap) }}
+
+// returnAfterPut hands the pooled buffer's storage to the caller and
+// recycles it at the same time.
+func returnAfterPut() []byte {
+	w := bufPool.Get().(*wrap)
+	bufPool.Put(w) // want poolaudit
+	return w.b
+}
+
+// deferredPutOfReturned is the same bug spelled with defer.
+func deferredPutOfReturned(n int) []byte {
+	w := bufPool.Get().(*wrap)
+	defer bufPool.Put(w) // want poolaudit
+	return w.b[:n]
+}
+
+// returnWrapper escapes the pooled value inside a fresh struct.
+func returnWrapper() *wrap {
+	w := bufPool.Get().(*wrap)
+	bufPool.Put(w) // want poolaudit
+	return &wrap{b: w.b}
+}
+
+// unasserted uses the raw any from Get.
+func unasserted() {
+	w := bufPool.Get() // want poolaudit
+	_ = w
+}
+
+var slicePool = sync.Pool{New: func() any { return any(make([]byte, 0, 64)) }}
+
+// putSlice boxes the slice header on every Put.
+func putSlice(b []byte) {
+	slicePool.Put(b) // want poolaudit
+}
+
+// okCopyOut is the sanctioned shape: assert, copy out, recycle.
+func okCopyOut(n int) []byte {
+	w := bufPool.Get().(*wrap)
+	defer bufPool.Put(w)
+	out := make([]byte, n)
+	copy(out, w.b)
+	return out
+}
+
+// okReturnLen returns only a value copied out of the pooled buffer.
+func okReturnLen() int {
+	w := bufPool.Get().(*wrap)
+	defer bufPool.Put(w)
+	return len(w.b)
+}
+
+// okNestedLit: a Put inside a function literal does not alias the
+// outer function's returns.
+func okNestedLit() []byte {
+	out := make([]byte, 8)
+	f := func() {
+		w := bufPool.Get().(*wrap)
+		bufPool.Put(w)
+	}
+	f()
+	return out
+}
+
+// okTypeSwitch: a type switch counts as asserting the Get result.
+func okTypeSwitch() int {
+	switch v := bufPool.Get().(type) {
+	case *wrap:
+		defer bufPool.Put(v)
+		return cap(v.b)
+	default:
+		return 0
+	}
+}
+`}
+	root := writeFixture(t, files)
+	checkMarkers(t, root, files, analyze(t, root))
+}

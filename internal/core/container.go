@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 
 	"repro/internal/ecc"
 )
@@ -41,8 +42,17 @@ func (h header) config() Config { return Config{Method: h.Method, Param: h.Param
 // marshalHeader builds one header replica (with CRC) and returns the
 // full replicated prefix.
 func marshalHeader(h header) []byte {
-	one := make([]byte, headerLen)
-	copy(one, containerMagic)
+	out := make([]byte, headerLen*headerReplicas)
+	marshalHeaderInto(out, h)
+	return out
+}
+
+// marshalHeaderInto writes the replicated header prefix into dst
+// (which must hold ContainerOverheadBytes). The single replica builds
+// on the stack, so the call allocates nothing.
+func marshalHeaderInto(dst []byte, h header) {
+	var one [headerLen]byte
+	copy(one[:], containerMagic)
 	one[4] = containerVersion
 	one[5] = byte(h.Method)
 	binary.LittleEndian.PutUint32(one[6:], uint32(h.Param))
@@ -51,35 +61,31 @@ func marshalHeader(h header) []byte {
 	binary.LittleEndian.PutUint64(one[22:], uint64(h.EncLen))
 	crc := crc32.ChecksumIEEE(one[:headerLen-4])
 	binary.LittleEndian.PutUint32(one[headerLen-4:], crc)
-	out := make([]byte, 0, headerLen*headerReplicas)
 	for i := 0; i < headerReplicas; i++ {
-		out = append(out, one...)
+		copy(dst[i*headerLen:], one[:])
 	}
-	return out
 }
 
 // unmarshalHeader recovers the header from the replicated prefix. It
 // first looks for any replica with a valid CRC; failing that, it
 // majority-votes each byte across replicas and retries, so even three
-// damaged replicas recover when the damage does not align.
+// damaged replicas recover when the damage does not align. The happy
+// path allocates nothing (this runs once per chunk on the stream read
+// path).
 func unmarshalHeader(buf []byte) (header, error) {
 	if len(buf) < headerLen*headerReplicas {
 		return header{}, fmt.Errorf("%w: short header (%d bytes)", ErrContainer, len(buf))
 	}
-	replicas := make([][]byte, headerReplicas)
-	for i := range replicas {
-		replicas[i] = buf[i*headerLen : (i+1)*headerLen]
-	}
-	for _, r := range replicas {
-		if h, err := parseOne(r); err == nil {
+	for i := 0; i < headerReplicas; i++ {
+		if h, err := parseOne(buf[i*headerLen : (i+1)*headerLen]); err == nil {
 			return h, nil
 		}
 	}
-	voted := make([]byte, headerLen)
+	var voted [headerLen]byte
 	for i := 0; i < headerLen; i++ {
-		voted[i] = vote3(replicas[0][i], replicas[1][i], replicas[2][i])
+		voted[i] = vote3(buf[i], buf[headerLen+i], buf[2*headerLen+i])
 	}
-	h, err := parseOne(voted)
+	h, err := parseOne(voted[:])
 	if err != nil {
 		return header{}, fmt.Errorf("%w: all header replicas damaged beyond voting", ErrContainer)
 	}
@@ -138,3 +144,38 @@ func unwrap(buf []byte) (header, []byte, error) {
 
 // ContainerOverheadBytes is the fixed container cost in bytes.
 const ContainerOverheadBytes = headerLen * headerReplicas
+
+// chunkBuf is a pooled, grow-only byte buffer that circulates through
+// the chunk stream machinery (payload accumulation, encoded
+// containers, decoded chunks). Pooling the wrapper struct — not the
+// slice — keeps sync.Pool round trips free of boxing allocations.
+//
+// Ownership is linear: whoever holds the *chunkBuf owns b exclusively
+// and must either hand the whole wrapper on or putChunkBuf it; no
+// slice of b may outlive the Put.
+type chunkBuf struct{ b []byte }
+
+var chunkBufPool = sync.Pool{New: func() any { return new(chunkBuf) }}
+
+// getChunkBuf returns a pooled buffer resized to length n (contents
+// unspecified).
+func getChunkBuf(n int) *chunkBuf {
+	cb := chunkBufPool.Get().(*chunkBuf)
+	cb.b = growTo(cb.b, n)
+	return cb
+}
+
+func putChunkBuf(cb *chunkBuf) {
+	if cb != nil {
+		chunkBufPool.Put(cb)
+	}
+}
+
+// growTo returns b resized to length n, reusing its storage when the
+// capacity suffices. Contents are unspecified.
+func growTo(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}

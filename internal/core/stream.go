@@ -96,25 +96,60 @@ func (cc *codecCache) get(cfg Config, workers, devSize int) (ecc.Code, error) {
 	return code, nil
 }
 
+// chunkScratch is the per-worker (or per-sequential-codec) scratch a
+// chunk encode/decode reuses across chunks: the codec memo skips the
+// shared cache's mutex in steady state, and the ecc.Scratch arena
+// holds grow-only codec workspaces (RS stripes, interleave
+// transposes). A chunkScratch is owned by exactly one goroutine.
+type chunkScratch struct {
+	memo codecMemo
+	ecc  ecc.Scratch
+}
+
+// codecMemo caches the last codec a worker resolved. Chunks of a
+// homogeneous stream share one header configuration, so after the
+// first chunk every lookup is a key compare instead of a mutex-guarded
+// map access.
+type codecMemo struct {
+	key  codecKey
+	code ecc.Code
+}
+
+func (m *codecMemo) get(cc *codecCache, cfg Config, workers, devSize int) (ecc.Code, error) {
+	key := codecKey{cfg: cfg, devSize: devSize, workers: workers}
+	if m.code != nil && m.key == key {
+		return m.code, nil
+	}
+	code, err := cc.get(cfg, workers, devSize)
+	if err != nil {
+		return nil, err
+	}
+	m.key, m.code = key, code
+	return code, nil
+}
+
 // ChunkWriter encodes fixed-size chunks of a byte stream with one
 // configuration choice and writes the containers to w.
 type ChunkWriter struct {
 	eng       *Engine
 	w         io.Writer
 	choice    Choice
-	buf       []byte
+	payload   *chunkBuf // accumulating plaintext chunk
 	chunkSize int
 	pipeline  int
 	closed    bool
 	err       error
 	written   atomic.Int64
 	codecs    codecCache
+	seq       *chunkScratch // sequential-path scratch (pipeline == 1)
 
 	// Pipelined state (nil/unused when pipeline == 1). The producer
 	// (Write/Close caller) submits full chunks; encoder workers protect
 	// them concurrently; the emitter goroutine writes encoded chunks to
-	// w strictly in submission order.
-	pipe     *parallel.Pipe[[]byte, []byte]
+	// w strictly in submission order. Payload and container buffers
+	// circulate through chunkBufPool, so the steady state allocates
+	// nothing per chunk.
+	pipe     *parallel.Pipe[*chunkBuf, *chunkBuf]
 	emitDone chan struct{}
 	emitErr  atomic.Value // error; first writer-side error wins
 }
@@ -147,14 +182,23 @@ func (e *Engine) NewChunkWriterChoice(w io.Writer, choice Choice, opts StreamOpt
 		eng:       e,
 		w:         w,
 		choice:    choice,
-		buf:       make([]byte, 0, opts.ChunkSize),
+		payload:   getChunkBuf(opts.ChunkSize),
 		chunkSize: opts.ChunkSize,
 		pipeline:  opts.Pipeline,
 	}
+	cw.payload.b = cw.payload.b[:0]
 	if cw.pipeline > 1 {
-		cw.pipe = parallel.NewPipe(cw.pipeline, cw.pipeline, cw.encodeChunk)
+		cw.pipe = parallel.NewPipeWith(cw.pipeline, cw.pipeline,
+			func() *chunkScratch { return new(chunkScratch) },
+			func(in *chunkBuf, s *chunkScratch) (*chunkBuf, error) {
+				out, err := cw.encodeChunk(in.b, s)
+				putChunkBuf(in) // payload consumed; recycle for the producer
+				return out, err
+			})
 		cw.emitDone = make(chan struct{})
 		go cw.emit()
+	} else {
+		cw.seq = new(chunkScratch)
 	}
 	return cw, nil
 }
@@ -169,15 +213,15 @@ func (cw *ChunkWriter) Write(p []byte) (int, error) {
 	}
 	total := 0
 	for len(p) > 0 {
-		room := cw.chunkSize - len(cw.buf)
+		room := cw.chunkSize - len(cw.payload.b)
 		n := len(p)
 		if n > room {
 			n = room
 		}
-		cw.buf = append(cw.buf, p[:n]...)
+		cw.payload.b = append(cw.payload.b, p[:n]...)
 		p = p[n:]
 		total += n
-		if len(cw.buf) == cw.chunkSize {
+		if len(cw.payload.b) == cw.chunkSize {
 			if err := cw.flush(); err != nil {
 				return total, err
 			}
@@ -186,24 +230,32 @@ func (cw *ChunkWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// encodeChunk protects one chunk payload and wraps it in a container.
-// It is the pipeline worker body, so it must be safe to call
-// concurrently; byte layout matches Engine.EncodeWith exactly.
-func (cw *ChunkWriter) encodeChunk(data []byte) ([]byte, error) {
+// encodeChunk protects one chunk payload and wraps it in a container
+// drawn from the buffer pool. It is the pipeline worker body, so it
+// must be safe to call concurrently (s is the calling worker's private
+// scratch); byte layout matches Engine.EncodeWith exactly.
+func (cw *ChunkWriter) encodeChunk(data []byte, s *chunkScratch) (*chunkBuf, error) {
 	devSize := cw.choice.Config.DeviceSizeFor(len(data))
-	code, err := cw.codecs.get(cw.choice.Config, cw.choice.Threads, devSize)
+	code, err := s.memo.get(&cw.codecs, cw.choice.Config, cw.choice.Threads, devSize)
 	if err != nil {
 		return nil, err
 	}
-	payload := code.Encode(data)
+	out := getChunkBuf(ContainerOverheadBytes + code.EncodedSize(len(data)))
+	enc := ecc.EncodeTo(code, out.b[ContainerOverheadBytes:], data, &s.ecc)
+	if len(enc) > 0 && &enc[0] != &out.b[ContainerOverheadBytes] {
+		// A custom Code that ignored dst (or sized its output off
+		// EncodedSize): land its output in the container.
+		out.b = append(out.b[:ContainerOverheadBytes], enc...)
+	}
 	h := header{
 		Method:  cw.choice.Config.Method,
 		Param:   cw.choice.Config.Param,
 		DevSize: devSize,
 		OrigLen: len(data),
-		EncLen:  len(payload),
+		EncLen:  len(enc),
 	}
-	return wrap(h, payload), nil
+	marshalHeaderInto(out.b[:ContainerOverheadBytes], h)
+	return out, nil
 }
 
 // emit is the pipelined writer's consumer goroutine: it receives
@@ -218,18 +270,21 @@ func (cw *ChunkWriter) emit() {
 			return
 		}
 		if cw.emitErr.Load() != nil {
+			putChunkBuf(enc)
 			continue // draining after failure
 		}
 		if err == nil {
-			_, werr := cw.w.Write(enc)
+			_, werr := cw.w.Write(enc.b)
 			err = werr
 		}
 		if err != nil {
+			putChunkBuf(enc)
 			cw.emitErr.Store(err)
 			cw.pipe.Abort()
 			continue
 		}
-		cw.written.Add(int64(len(enc)))
+		cw.written.Add(int64(len(enc.b)))
+		putChunkBuf(enc)
 	}
 }
 
@@ -243,21 +298,23 @@ func (cw *ChunkWriter) firstErr() error {
 
 // flush encodes and emits the buffered chunk.
 func (cw *ChunkWriter) flush() error {
-	if len(cw.buf) == 0 {
+	if cw.payload == nil || len(cw.payload.b) == 0 {
 		return nil
 	}
 	if cw.pipe == nil {
-		enc, err := cw.encodeChunk(cw.buf)
+		enc, err := cw.encodeChunk(cw.payload.b, cw.seq)
 		if err != nil {
 			cw.err = err
 			return err
 		}
-		if _, err := cw.w.Write(enc); err != nil {
+		if _, err := cw.w.Write(enc.b); err != nil {
+			putChunkBuf(enc)
 			cw.err = err
 			return err
 		}
-		cw.written.Add(int64(len(enc)))
-		cw.buf = cw.buf[:0]
+		cw.written.Add(int64(len(enc.b)))
+		putChunkBuf(enc)
+		cw.payload.b = cw.payload.b[:0]
 		return nil
 	}
 	if err := cw.firstErr(); err != nil {
@@ -265,8 +322,9 @@ func (cw *ChunkWriter) flush() error {
 		return err
 	}
 	// Hand the buffer to the pipeline (blocking while the window is
-	// full) and start a fresh one; the chunk now belongs to a worker.
-	if cw.pipe.Submit(cw.buf) != nil {
+	// full) and start a fresh one from the pool; the chunk now belongs
+	// to a worker, which recycles it after encoding.
+	if cw.pipe.Submit(cw.payload) != nil {
 		if err := cw.firstErr(); err != nil {
 			cw.err = err
 			return err
@@ -274,7 +332,8 @@ func (cw *ChunkWriter) flush() error {
 		cw.err = parallel.ErrPipeAborted
 		return cw.err
 	}
-	cw.buf = make([]byte, 0, cw.chunkSize)
+	cw.payload = getChunkBuf(cw.chunkSize)
+	cw.payload.b = cw.payload.b[:0]
 	return nil
 }
 
@@ -302,6 +361,8 @@ func (cw *ChunkWriter) Close() error {
 			err = cw.firstErr()
 		}
 	}
+	putChunkBuf(cw.payload)
+	cw.payload = nil
 	if err != nil {
 		cw.err = err
 		return err
@@ -321,30 +382,36 @@ type ChunkReader struct {
 	workers  int
 	pipeline int
 	cur      []byte
+	curBuf   *chunkBuf // owner of cur's storage; recycled once drained
+	hdr      [ContainerOverheadBytes]byte
 	err      error
 	closed   bool
 	report   Report
 	codecs   codecCache
+	seq      *chunkScratch // sequential-path scratch (pipeline == 1)
 
 	// Pipelined state (nil/unused when pipeline == 1). The producer
 	// goroutine reads encoded chunks off r sequentially and submits
 	// them; decode workers verify/repair concurrently; Read drains
-	// repaired chunks in order.
+	// repaired chunks in order. Payload and output buffers circulate
+	// through chunkBufPool.
 	pipe     *parallel.Pipe[encChunk, decChunk]
 	started  bool
 	prodDone chan struct{}
 	prodErr  error // read-side terminal error; valid once prodDone is closed
 }
 
-// encChunk is one still-encoded chunk handed to a decode worker.
+// encChunk is one still-encoded chunk handed to a decode worker, which
+// takes ownership of payload.
 type encChunk struct {
 	h       header
-	payload []byte
+	payload *chunkBuf
 }
 
-// decChunk is one decoded chunk plus its repair statistics.
+// decChunk is one decoded chunk plus its repair statistics. data is
+// nil when decoding failed before producing output.
 type decChunk struct {
-	data []byte
+	data *chunkBuf
 	rep  ecc.Report
 }
 
@@ -376,6 +443,12 @@ func (cr *ChunkReader) Report() Report { return cr.report }
 // down without leaking goroutines.
 func (cr *ChunkReader) Read(p []byte) (int, error) {
 	for len(cr.cur) == 0 {
+		if cr.curBuf != nil {
+			// The previous chunk is fully delivered; recycle its buffer
+			// before producing the next one.
+			putChunkBuf(cr.curBuf)
+			cr.curBuf = nil
+		}
 		if cr.err != nil {
 			return 0, cr.err
 		}
@@ -399,6 +472,8 @@ func (cr *ChunkReader) Close() error {
 	}
 	cr.closed = true
 	cr.cur = nil
+	putChunkBuf(cr.curBuf)
+	cr.curBuf = nil
 	cr.shutdown()
 	if cr.err == nil {
 		cr.err = fmt.Errorf("core: chunk reader is closed")
@@ -413,7 +488,9 @@ func (cr *ChunkReader) next() error {
 	}
 	if !cr.started {
 		cr.started = true
-		cr.pipe = parallel.NewPipe(cr.pipeline, cr.pipeline, cr.decodeChunk)
+		cr.pipe = parallel.NewPipeWith(cr.pipeline, cr.pipeline,
+			func() *chunkScratch { return new(chunkScratch) },
+			cr.decodeChunk)
 		cr.prodDone = make(chan struct{})
 		go cr.produce()
 	}
@@ -427,9 +504,11 @@ func (cr *ChunkReader) next() error {
 	cr.report.CorrectedBlocks += out.rep.CorrectedBlocks
 	cr.report.CorrectedBits += out.rep.CorrectedBits
 	if err != nil {
+		putChunkBuf(out.data)
 		return fmt.Errorf("chunk %d: %w", cr.report.Chunks, err)
 	}
-	cr.cur = out.data
+	cr.cur = out.data.b
+	cr.curBuf = out.data
 	return nil
 }
 
@@ -451,10 +530,11 @@ func (cr *ChunkReader) produce() {
 	}
 }
 
-// decodeChunk is the decode-worker body: verify and repair one chunk.
-// An ecc error (e.g. uncorrectable damage) is returned alongside the
-// best-effort statistics.
-func (cr *ChunkReader) decodeChunk(c encChunk) (dec decChunk, err error) {
+// decodeChunk is the decode-worker body: verify and repair one chunk
+// into a pooled output buffer, consuming (and recycling) the encoded
+// payload. An ecc error (e.g. uncorrectable damage) is returned
+// alongside the best-effort statistics.
+func (cr *ChunkReader) decodeChunk(c encChunk, s *chunkScratch) (dec decChunk, err error) {
 	// Same boundary as decodeContainer: a corrupted chunk header must
 	// surface as an error from the pipeline, never panic a worker.
 	defer func() {
@@ -462,54 +542,69 @@ func (cr *ChunkReader) decodeChunk(c encChunk) (dec decChunk, err error) {
 			dec, err = decChunk{}, fmt.Errorf("%w: decoder panic: %v", ErrContainer, p)
 		}
 	}()
-	code, err := cr.codecs.get(c.h.config(), cr.workers, c.h.DevSize)
+	code, err := s.memo.get(&cr.codecs, c.h.config(), cr.workers, c.h.DevSize)
 	if err != nil {
+		putChunkBuf(c.payload)
 		return decChunk{}, fmt.Errorf("%w: %v", ErrContainer, err)
 	}
-	data, rep, derr := code.Decode(c.payload, c.h.OrigLen)
-	return decChunk{data: data, rep: rep}, derr
+	out := getChunkBuf(c.h.OrigLen)
+	data, rep, derr := ecc.DecodeTo(code, out.b, c.payload.b, c.h.OrigLen, &s.ecc)
+	putChunkBuf(c.payload)
+	if data == nil {
+		putChunkBuf(out)
+		return decChunk{rep: rep}, derr
+	}
+	// data aliases out.b whenever the code honored dst (all built-ins
+	// do); adopting it keeps the right storage circulating either way.
+	out.b = data
+	return decChunk{data: out, rep: rep}, derr
 }
 
 // readChunk reads one encoded container (header + payload) off the
-// underlying reader. io.EOF at a chunk boundary is the clean end.
+// underlying reader into a pooled payload buffer. io.EOF at a chunk
+// boundary is the clean end.
 func (cr *ChunkReader) readChunk() (encChunk, error) {
-	hdr := make([]byte, ContainerOverheadBytes)
-	if _, err := io.ReadFull(cr.r, hdr); err != nil {
+	if _, err := io.ReadFull(cr.r, cr.hdr[:]); err != nil {
 		if err == io.EOF {
 			return encChunk{}, io.EOF // clean end at a chunk boundary
 		}
 		return encChunk{}, fmt.Errorf("%w: truncated chunk header: %v", ErrContainer, err)
 	}
-	h, err := unmarshalHeader(hdr)
+	h, err := unmarshalHeader(cr.hdr[:])
 	if err != nil {
 		return encChunk{}, err
 	}
 	if h.EncLen < 0 || h.EncLen > maxChunkPayload {
 		return encChunk{}, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
 	}
-	payload, err := readCapped(cr.r, h.EncLen)
+	pb := getChunkBuf(0)
+	pb.b, err = readCappedInto(cr.r, pb.b, h.EncLen)
 	if err != nil {
+		putChunkBuf(pb)
 		return encChunk{}, fmt.Errorf("%w: truncated chunk payload: %v", ErrContainer, err)
 	}
-	return encChunk{h: h, payload: payload}, nil
+	return encChunk{h: h, payload: pb}, nil
 }
 
-// directReadCap is the largest chunk payload readCapped pre-sizes in a
-// single allocation; larger claims grow geometrically as bytes
+// directReadCap is the largest chunk payload readCappedInto pre-sizes
+// in a single allocation; larger claims grow geometrically as bytes
 // actually arrive.
 const directReadCap = 1 << 20
 
-// readCapped reads exactly n bytes from r. Pre-sizing the buffer from
-// the header would let a forged (CRC-colliding) EncLen allocate up to
-// maxChunkPayload from a short stream; growing as data arrives keeps
-// the cost proportional to the bytes the reader really delivers.
-func readCapped(r io.Reader, n int) ([]byte, error) {
-	if n <= directReadCap {
-		buf := make([]byte, n)
+// readCappedInto reads exactly n bytes from r, reusing dst's storage
+// when possible. Pre-sizing a fresh buffer from the header would let a
+// forged (CRC-colliding) EncLen allocate up to maxChunkPayload from a
+// short stream; growing as data arrives keeps the cost proportional to
+// the bytes the reader really delivers. A pooled dst that already paid
+// for n bytes in an earlier chunk is reused directly — that grants a
+// forged length nothing new.
+func readCappedInto(r io.Reader, dst []byte, n int) ([]byte, error) {
+	if n <= directReadCap || cap(dst) >= n {
+		buf := growTo(dst, n)
 		_, err := io.ReadFull(r, buf)
 		return buf, err
 	}
-	buf := make([]byte, directReadCap)
+	buf := growTo(dst, directReadCap)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -532,11 +627,14 @@ func (cr *ChunkReader) shutdown() {
 	}
 	cr.pipe.Abort()
 	// Drain deliveries so a producer blocked in Submit can exit, then
-	// join producer and workers.
+	// join producer and workers. Decoded-but-undelivered chunks go back
+	// to the pool.
 	for {
-		if _, ok, _ := cr.pipe.Next(); !ok {
+		out, ok, _ := cr.pipe.Next()
+		if !ok {
 			break
 		}
+		putChunkBuf(out.data)
 	}
 	<-cr.prodDone
 	cr.pipe.Wait()
@@ -549,15 +647,20 @@ func (cr *ChunkReader) nextChunk() error {
 	if err != nil {
 		return err
 	}
-	out, derr := cr.decodeChunk(c)
+	if cr.seq == nil {
+		cr.seq = new(chunkScratch)
+	}
+	out, derr := cr.decodeChunk(c, cr.seq)
 	cr.report.Chunks++
 	cr.report.DetectedBlocks += out.rep.DetectedBlocks
 	cr.report.CorrectedBlocks += out.rep.CorrectedBlocks
 	cr.report.CorrectedBits += out.rep.CorrectedBits
 	if derr != nil {
+		putChunkBuf(out.data)
 		return fmt.Errorf("chunk %d: %w", cr.report.Chunks, derr)
 	}
-	cr.cur = out.data
+	cr.cur = out.data.b
+	cr.curBuf = out.data
 	return nil
 }
 

@@ -35,6 +35,87 @@ type Code interface {
 	Caps() Capability
 }
 
+// EncoderTo is the allocation-free variant of Code.Encode, implemented
+// by all built-in codes. EncodeTo writes the encoded stream into dst
+// when cap(dst) suffices (dst may be nil) and returns the encoded
+// slice, which has length EncodedSize(len(data)) and aliases dst only
+// when dst's capacity was used. dst must not overlap data. s provides
+// reusable internal scratch and may be nil (fresh buffers are then
+// allocated, making EncodeTo(nil, data, nil) equivalent to Encode).
+type EncoderTo interface {
+	EncodeTo(dst, data []byte, s *Scratch) []byte
+}
+
+// DecoderTo is the allocation-free variant of Code.Decode. DecodeTo
+// writes the recovered data into dst when cap(dst) suffices (dst may
+// be nil) and follows Decode's contract otherwise. dst must not
+// overlap encoded. s provides reusable internal scratch and may be nil.
+type DecoderTo interface {
+	DecodeTo(dst, encoded []byte, origLen int, s *Scratch) ([]byte, Report, error)
+}
+
+// EncodeTo calls c.EncodeTo when c implements EncoderTo, and otherwise
+// falls back to c.Encode plus a copy into dst. Use it to stay
+// allocation-free with built-in codes while remaining correct for
+// third-party Code implementations.
+func EncodeTo(c Code, dst, data []byte, s *Scratch) []byte {
+	if e, ok := c.(EncoderTo); ok {
+		return e.EncodeTo(dst, data, s)
+	}
+	out := c.Encode(data)
+	dst = GrowTo(dst, len(out))
+	copy(dst, out)
+	return dst
+}
+
+// DecodeTo calls c.DecodeTo when c implements DecoderTo, and otherwise
+// falls back to c.Decode plus a copy into dst.
+func DecodeTo(c Code, dst, encoded []byte, origLen int, s *Scratch) ([]byte, Report, error) {
+	if d, ok := c.(DecoderTo); ok {
+		return d.DecodeTo(dst, encoded, origLen, s)
+	}
+	out, rep, err := c.Decode(encoded, origLen)
+	if out == nil {
+		return nil, rep, err
+	}
+	dst = GrowTo(dst, len(out))
+	copy(dst, out)
+	return dst, rep, err
+}
+
+// Scratch is a grow-only arena of reusable byte buffers for the *To
+// codec entry points. Each implementation addresses slots by small
+// fixed indices of its own choosing; the arena never shrinks, so after
+// warm-up repeated calls with the same shape allocate nothing. A
+// Scratch must not be shared between concurrent calls. The zero value
+// and nil are both ready to use (nil always allocates fresh buffers).
+type Scratch struct {
+	slots [][]byte
+}
+
+// Slot returns scratch buffer i resized to length n. Contents are
+// unspecified — callers that need zeroed memory must clear it. Safe on
+// a nil receiver, which degrades to a plain allocation.
+func (s *Scratch) Slot(i, n int) []byte {
+	if s == nil {
+		return make([]byte, n)
+	}
+	for len(s.slots) <= i {
+		s.slots = append(s.slots, nil)
+	}
+	s.slots[i] = GrowTo(s.slots[i], n)
+	return s.slots[i]
+}
+
+// GrowTo returns b resized to length n, reusing b's storage when its
+// capacity suffices and allocating otherwise. Contents are unspecified.
+func GrowTo(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
 // Report summarizes what a Decode observed.
 type Report struct {
 	// DetectedBlocks is the number of code blocks (parity blocks,

@@ -190,9 +190,16 @@ func (c *Code) blockCheck(data uint64) uint16 {
 
 // Encode implements ecc.Code.
 func (c *Code) Encode(data []byte) []byte {
+	return c.EncodeTo(nil, data, nil)
+}
+
+// EncodeTo implements ecc.EncoderTo. Every check byte is fully
+// assigned (encodeChecks zero-pads partial groups in-register), so a
+// reused dst needs no clearing.
+func (c *Code) EncodeTo(dst, data []byte, _ *ecc.Scratch) []byte {
 	n := len(data)
 	nb := c.blocks(n)
-	out := make([]byte, c.EncodedSize(n))
+	out := ecc.GrowTo(dst, c.EncodedSize(n))
 	copy(out, data)
 	chk := out[n:]
 	cl := c.P.CheckLen
@@ -202,9 +209,16 @@ func (c *Code) Encode(data []byte) []byte {
 	// blocks per group.
 	group := lcm(cl, 8) / cl
 	groups := (nb + group - 1) / group
-	parallel.For(groups, c.Workers, func(glo, ghi int) {
-		c.encodeChecks(data, chk, glo, ghi, group, nb)
-	})
+	// Serial fast path: a closure handed to parallel.For escapes and
+	// would allocate even when it runs inline — the chunk-stream
+	// steady state encodes with one worker.
+	if parallel.Clamp(c.Workers, groups) == 1 {
+		c.encodeChecks(data, chk, 0, groups, group, nb)
+	} else {
+		parallel.For(groups, c.Workers, func(glo, ghi int) {
+			c.encodeChecks(data, chk, glo, ghi, group, nb)
+		})
+	}
 	return out
 }
 
@@ -345,58 +359,78 @@ func (c *Code) decodeBlock(out []byte, b int, stored uint16, st *blockStats) {
 
 // Decode implements ecc.Code.
 func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	return c.DecodeTo(nil, encoded, origLen, nil)
+}
+
+// DecodeTo implements ecc.DecoderTo.
+func (c *Code) DecodeTo(dst, encoded []byte, origLen int, _ *ecc.Scratch) ([]byte, ecc.Report, error) {
 	var rep ecc.Report
 	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
 		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
 	}
-	out := make([]byte, origLen)
+	out := ecc.GrowTo(dst, origLen)
 	copy(out, encoded[:origLen])
 	chk := encoded[origLen:c.EncodedSize(origLen)]
 	nb := c.blocks(origLen)
 	cl := c.P.CheckLen
 	group := lcm(cl, 8) / cl
 	groups := (nb + group - 1) / group
-	var detected, corrBits, corrBlocks, uncorrectable int64
-	parallel.For(groups, c.Workers, func(glo, ghi int) {
-		var st blockStats
-		if cl == 8 {
-			// Byte-aligned check words (group == 1): read directly.
-			for b := glo; b < ghi; b++ {
-				c.decodeBlock(out, b, uint16(chk[b]), &st)
-			}
-		} else {
-			// Load each group's byte-aligned check span into a uint64
-			// and peel the per-block fields MSB-first — the word-level
-			// replacement for per-bit readBits.
-			for g := glo; g < ghi; g++ {
-				b0 := g * group
-				b1 := min(b0+group, nb)
-				nbits := (b1 - b0) * cl
-				nbytes := (nbits + 7) / 8
-				off := b0 * cl / 8
-				var acc uint64
-				for k := 0; k < nbytes; k++ {
-					acc = acc<<8 | uint64(chk[off+k])
-				}
-				sh := uint(nbytes * 8)
-				for b := b0; b < b1; b++ {
-					sh -= uint(cl)
-					c.decodeBlock(out, b, uint16(acc>>sh)&((1<<cl)-1), &st)
-				}
-			}
-		}
-		atomic.AddInt64(&detected, st.det)
-		atomic.AddInt64(&corrBits, st.bits)
-		atomic.AddInt64(&corrBlocks, st.blocks)
-		atomic.AddInt64(&uncorrectable, st.unc)
-	})
-	rep.DetectedBlocks = int(detected)
-	rep.CorrectedBits = int(corrBits)
-	rep.CorrectedBlocks = int(corrBlocks)
-	if uncorrectable > 0 {
-		return out, rep, fmt.Errorf("%w: %d block(s) with multi-bit damage", ecc.ErrUncorrectable, uncorrectable)
+	var total blockStats
+	// Serial fast path: see EncodeTo — the closure plus the counters it
+	// captures by address would otherwise allocate per Decode.
+	if parallel.Clamp(c.Workers, groups) == 1 {
+		c.decodeGroups(out, chk, 0, groups, group, nb, &total)
+	} else {
+		var detected, corrBits, corrBlocks, uncorrectable int64
+		parallel.For(groups, c.Workers, func(glo, ghi int) {
+			var st blockStats
+			c.decodeGroups(out, chk, glo, ghi, group, nb, &st)
+			atomic.AddInt64(&detected, st.det)
+			atomic.AddInt64(&corrBits, st.bits)
+			atomic.AddInt64(&corrBlocks, st.blocks)
+			atomic.AddInt64(&uncorrectable, st.unc)
+		})
+		total = blockStats{det: detected, bits: corrBits, blocks: corrBlocks, unc: uncorrectable}
+	}
+	rep.DetectedBlocks = int(total.det)
+	rep.CorrectedBits = int(total.bits)
+	rep.CorrectedBlocks = int(total.blocks)
+	if total.unc > 0 {
+		return out, rep, fmt.Errorf("%w: %d block(s) with multi-bit damage", ecc.ErrUncorrectable, total.unc)
 	}
 	return out, rep, nil
+}
+
+// decodeGroups verifies and repairs block groups [glo, ghi) of out,
+// accumulating into st; safe to run concurrently on disjoint ranges.
+func (c *Code) decodeGroups(out, chk []byte, glo, ghi, group, nb int, st *blockStats) {
+	cl := c.P.CheckLen
+	if cl == 8 {
+		// Byte-aligned check words (group == 1): read directly.
+		for b := glo; b < ghi; b++ {
+			c.decodeBlock(out, b, uint16(chk[b]), st)
+		}
+		return
+	}
+	// Load each group's byte-aligned check span into a uint64 and peel
+	// the per-block fields MSB-first — the word-level replacement for
+	// per-bit readBits.
+	for g := glo; g < ghi; g++ {
+		b0 := g * group
+		b1 := min(b0+group, nb)
+		nbits := (b1 - b0) * cl
+		nbytes := (nbits + 7) / 8
+		off := b0 * cl / 8
+		var acc uint64
+		for k := 0; k < nbytes; k++ {
+			acc = acc<<8 | uint64(chk[off+k])
+		}
+		sh := uint(nbytes * 8)
+		for b := b0; b < b1; b++ {
+			sh -= uint(cl)
+			c.decodeBlock(out, b, uint16(acc>>sh)&((1<<cl)-1), st)
+		}
+	}
 }
 
 // DecodeRef is the retained scalar reference implementation of Decode
@@ -459,4 +493,8 @@ func gcd(a, b int) int {
 
 func lcm(a, b int) int { return a / gcd(a, b) * b }
 
-var _ ecc.Code = (*Code)(nil)
+var (
+	_ ecc.Code      = (*Code)(nil)
+	_ ecc.EncoderTo = (*Code)(nil)
+	_ ecc.DecoderTo = (*Code)(nil)
+)

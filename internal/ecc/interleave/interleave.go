@@ -83,28 +83,30 @@ func (c *Code) EncodedSize(n int) int {
 // codeword, for streams of at least ~73x this length.
 func (c *Code) MaxBurstBytes() int { return c.Depth }
 
-// group rearranges a SEC-DED encoding (data region + check region)
-// into codeword-contiguous order, zero-padding the final partial
-// codeword's data bytes.
-func group(inner []byte, origLen int) []byte {
+// groupInto rearranges a SEC-DED encoding (data region + check region)
+// into codeword-contiguous order in g (len groupedSize(origLen)),
+// zero-padding the final partial codeword's data bytes explicitly so a
+// reused g carries no stale contents.
+func groupInto(g, inner []byte, origLen int) {
 	cw := cwCount(origLen)
-	g := make([]byte, cw*cwLen)
 	for x := 0; x < cw; x++ {
 		lo := x * cwData
 		hi := lo + cwData
 		if hi > origLen {
 			hi = origLen
 		}
-		copy(g[x*cwLen:], inner[lo:hi])
+		n := copy(g[x*cwLen:x*cwLen+cwData], inner[lo:hi])
+		if n < cwData {
+			clear(g[x*cwLen+n : x*cwLen+cwData])
+		}
 		g[x*cwLen+cwData] = inner[origLen+x]
 	}
-	return g
 }
 
-// ungroup inverts group.
-func ungroup(g []byte, origLen int) []byte {
+// ungroupInto inverts groupInto, filling inner (len origLen+cwCount).
+// Every byte of inner is assigned.
+func ungroupInto(inner, g []byte, origLen int) {
 	cw := cwCount(origLen)
-	inner := make([]byte, origLen+cw)
 	for x := 0; x < cw; x++ {
 		lo := x * cwData
 		hi := lo + cwData
@@ -114,7 +116,6 @@ func ungroup(g []byte, origLen int) []byte {
 		copy(inner[lo:hi], g[x*cwLen:])
 		inner[origLen+x] = g[x*cwLen+cwData]
 	}
-	return inner
 }
 
 // getBit/setBit address bits MSB-first within bytes.
@@ -122,13 +123,28 @@ func getBit(buf []byte, i int) byte { return buf[i>>3] >> (7 - i&7) & 1 }
 
 func setBit(buf []byte, i int) { buf[i>>3] |= 0x80 >> (i & 7) }
 
+// Scratch slot indices within the shared ecc.Scratch arena.
+const (
+	slotInner   = 0 // inner SEC-DED encoding / regrouped inner stream
+	slotGrouped = 1 // codeword-contiguous bit string
+)
+
 // Encode implements ecc.Code.
 func (c *Code) Encode(data []byte) []byte {
-	g := group(c.inner.Encode(data), len(data))
+	return c.EncodeTo(nil, data, nil)
+}
+
+// EncodeTo implements ecc.EncoderTo. The bit transpose ORs into the
+// output, so a reused dst is cleared first.
+func (c *Code) EncodeTo(dst, data []byte, s *ecc.Scratch) []byte {
+	inner := c.inner.EncodeTo(s.Slot(slotInner, c.inner.EncodedSize(len(data))), data, s)
+	g := s.Slot(slotGrouped, groupedSize(len(data)))
+	groupInto(g, inner, len(data))
 	padded := c.EncodedSize(len(data))
 	rows := 8 * c.Depth
 	cols := padded * 8 / rows
-	out := make([]byte, padded)
+	out := ecc.GrowTo(dst, padded)
+	clear(out)
 	// Bit transpose: out bit col*rows+row = g bit row*cols+col. The
 	// (row, col) coordinates advance incrementally — no div/mod per
 	// bit — and all-zero source bytes skip their eight bit tests
@@ -158,6 +174,13 @@ func (c *Code) Encode(data []byte) []byte {
 
 // Decode implements ecc.Code.
 func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	return c.DecodeTo(nil, encoded, origLen, nil)
+}
+
+// DecodeTo implements ecc.DecoderTo. Both intermediate buffers (the
+// de-transposed bit string and the regrouped inner stream) are fully
+// assigned, so reuse needs no clearing.
+func (c *Code) DecodeTo(dst, encoded []byte, origLen int, s *ecc.Scratch) ([]byte, ecc.Report, error) {
 	var rep ecc.Report
 	want := c.EncodedSize(origLen)
 	if origLen < 0 || len(encoded) < want {
@@ -165,7 +188,7 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 	}
 	rows := 8 * c.Depth
 	cols := want * 8 / rows
-	g := make([]byte, groupedSize(origLen))
+	g := s.Slot(slotGrouped, groupedSize(origLen))
 	// Inverse transpose with the same incremental (row, col) walk as
 	// Encode; each grouped byte assembles from eight scattered bits.
 	row, col := 0, 0
@@ -181,7 +204,13 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 		}
 		g[k] = b
 	}
-	return c.inner.Decode(ungroup(g, origLen), origLen)
+	inner := s.Slot(slotInner, origLen+cwCount(origLen))
+	ungroupInto(inner, g, origLen)
+	return c.inner.DecodeTo(dst, inner, origLen, s)
 }
 
-var _ ecc.Code = (*Code)(nil)
+var (
+	_ ecc.Code      = (*Code)(nil)
+	_ ecc.EncoderTo = (*Code)(nil)
+	_ ecc.DecoderTo = (*Code)(nil)
+)

@@ -101,26 +101,50 @@ func (c *Code) parityByte(data []byte, pb, nb int) byte {
 	return v
 }
 
-// Encode implements ecc.Code. Workers own whole parity bytes (groups
-// of eight blocks), so no two goroutines write the same byte.
+// Encode implements ecc.Code.
 func (c *Code) Encode(data []byte) []byte {
+	return c.EncodeTo(nil, data, nil)
+}
+
+// EncodeTo implements ecc.EncoderTo. Workers own whole parity bytes
+// (groups of eight blocks), so no two goroutines write the same byte;
+// every output byte is fully assigned, so a reused dst needs no
+// clearing.
+func (c *Code) EncodeTo(dst, data []byte, _ *ecc.Scratch) []byte {
 	n := len(data)
 	nb := c.blocks(n)
-	out := make([]byte, c.EncodedSize(n))
+	out := ecc.GrowTo(dst, c.EncodedSize(n))
 	copy(out, data)
 	par := out[n:]
-	parallel.For(len(par), c.Workers, func(lo, hi int) {
-		for pb := lo; pb < hi; pb++ {
-			par[pb] = c.parityByte(data, pb, nb)
-		}
-	})
+	// Serial fast path: a closure handed to parallel.For escapes and
+	// would allocate even when it runs inline.
+	if parallel.Clamp(c.Workers, len(par)) == 1 {
+		c.encodeRange(data, par, 0, len(par), nb)
+	} else {
+		parallel.For(len(par), c.Workers, func(lo, hi int) {
+			c.encodeRange(data, par, lo, hi, nb)
+		})
+	}
 	return out
+}
+
+// encodeRange fills parity bytes [lo, hi); safe to run concurrently on
+// disjoint ranges.
+func (c *Code) encodeRange(data, par []byte, lo, hi, nb int) {
+	for pb := lo; pb < hi; pb++ {
+		par[pb] = c.parityByte(data, pb, nb)
+	}
 }
 
 // Decode implements ecc.Code. Parity corrects nothing: if any block's
 // parity mismatches, Decode returns the (possibly corrupt) data along
 // with ecc.ErrUncorrectable so the caller can decide what to salvage.
 func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	return c.DecodeTo(nil, encoded, origLen, nil)
+}
+
+// DecodeTo implements ecc.DecoderTo.
+func (c *Code) DecodeTo(dst, encoded []byte, origLen int, _ *ecc.Scratch) ([]byte, ecc.Report, error) {
 	var rep ecc.Report
 	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
 		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
@@ -129,19 +153,22 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 	par := encoded[origLen:c.EncodedSize(origLen)]
 	nb := c.blocks(origLen)
 	var detected int64
-	parallel.For(len(par), c.Workers, func(lo, hi int) {
-		local := 0
-		for pb := lo; pb < hi; pb++ {
-			if diff := c.parityByte(data, pb, nb) ^ par[pb]; diff != 0 {
-				local += bits.OnesCount8(diff)
+	// Serial fast path: see EncodeTo. The atomic counter is declared
+	// inside the parallel branch so its heap allocation (it is captured
+	// by an escaping closure) never taxes the serial path.
+	if parallel.Clamp(c.Workers, len(par)) == 1 {
+		detected = c.countRange(data, par, 0, len(par), nb)
+	} else {
+		var adet int64
+		parallel.For(len(par), c.Workers, func(lo, hi int) {
+			if local := c.countRange(data, par, lo, hi, nb); local > 0 {
+				atomic.AddInt64(&adet, local)
 			}
-		}
-		if local > 0 {
-			atomic.AddInt64(&detected, int64(local))
-		}
-	})
+		})
+		detected = adet
+	}
 	rep.DetectedBlocks = int(detected)
-	out := make([]byte, origLen)
+	out := ecc.GrowTo(dst, origLen)
 	copy(out, data)
 	if rep.DetectedBlocks > 0 {
 		return out, rep, fmt.Errorf("%w: parity mismatch in %d block(s)", ecc.ErrUncorrectable, rep.DetectedBlocks)
@@ -149,4 +176,20 @@ func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
 	return out, rep, nil
 }
 
-var _ ecc.Code = (*Code)(nil)
+// countRange counts mismatched parity bits over parity bytes [lo, hi);
+// safe to run concurrently on disjoint ranges.
+func (c *Code) countRange(data, par []byte, lo, hi, nb int) int64 {
+	local := 0
+	for pb := lo; pb < hi; pb++ {
+		if diff := c.parityByte(data, pb, nb) ^ par[pb]; diff != 0 {
+			local += bits.OnesCount8(diff)
+		}
+	}
+	return int64(local)
+}
+
+var (
+	_ ecc.Code      = (*Code)(nil)
+	_ ecc.EncoderTo = (*Code)(nil)
+	_ ecc.DecoderTo = (*Code)(nil)
+)

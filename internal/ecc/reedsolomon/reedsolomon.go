@@ -171,25 +171,52 @@ func (c *Code) MaxCorrectableDevices() int { return c.M }
 
 // Encode implements ecc.Code.
 func (c *Code) Encode(data []byte) []byte {
+	return c.EncodeTo(nil, data, nil)
+}
+
+// EncodeTo implements ecc.EncoderTo. The stripe encoder assigns every
+// output byte (including explicit zero padding of a partial final
+// stripe), so a reused dst needs no up-front clearing.
+func (c *Code) EncodeTo(dst, data []byte, _ *ecc.Scratch) []byte {
 	n := len(data)
 	ns := c.stripes(n)
-	out := make([]byte, c.EncodedSize(n))
+	out := ecc.GrowTo(dst, c.EncodedSize(n))
+	// The serial case calls the range body directly: a closure passed
+	// to parallel.For escapes (For hands it to goroutines on its other
+	// path), which would cost an allocation per Encode even for one
+	// worker — the chunk-stream steady state this code serves.
+	if parallel.Clamp(c.Workers, ns) == 1 {
+		c.encodeRange(data, out, 0, ns)
+	} else {
+		parallel.For(ns, c.Workers, func(lo, hi int) {
+			c.encodeRange(data, out, lo, hi)
+		})
+	}
+	return out
+}
+
+// encodeRange encodes stripes [lo, hi); safe to run concurrently on
+// disjoint ranges.
+func (c *Code) encodeRange(data, out []byte, lo, hi int) {
+	n := len(data)
 	sdb := c.stripeDataBytes()
 	seb := c.stripeEncBytes()
-	parallel.For(ns, c.Workers, func(lo, hi int) {
-		for s := lo; s < hi; s++ {
-			src := data[min(s*sdb, n):min((s+1)*sdb, n)]
-			c.encodeStripe(src, out[s*seb:(s+1)*seb])
-		}
-	})
-	return out
+	for s := lo; s < hi; s++ {
+		src := data[min(s*sdb, n):min((s+1)*sdb, n)]
+		c.encodeStripe(src, out[s*seb:(s+1)*seb])
+	}
 }
 
 // encodeStripe fills one encoded stripe from up to stripeDataBytes of
 // source data (shorter input is zero-padded).
 func (c *Code) encodeStripe(src, dst []byte) {
 	ds := c.DeviceSize
-	copy(dst, src) // data devices, zero padding preserved by fresh dst
+	copy(dst, src)
+	if len(src) < c.K*ds {
+		// Zero-pad the final partial stripe explicitly: dst may be a
+		// reused buffer with stale contents.
+		clear(dst[len(src) : c.K*ds])
+	}
 	devices := dst[:(c.K+c.M)*ds]
 	// Parity devices: parity_i = sum_j gen[K+i][j] * data_j, row-major
 	// over the generator so each coefficient's cached gf256.Table row
@@ -214,36 +241,60 @@ func (c *Code) encodeStripe(src, dst []byte) {
 
 // Decode implements ecc.Code.
 func (c *Code) Decode(encoded []byte, origLen int) ([]byte, ecc.Report, error) {
+	return c.DecodeTo(nil, encoded, origLen, nil)
+}
+
+// DecodeTo implements ecc.DecoderTo. The clean path (no corrupt
+// devices) performs no allocations beyond growing dst; the repair path
+// allocates its inversion scratch, which is acceptable because repair
+// is the rare case.
+func (c *Code) DecodeTo(dst, encoded []byte, origLen int, _ *ecc.Scratch) ([]byte, ecc.Report, error) {
 	var rep ecc.Report
 	if origLen < 0 || len(encoded) < c.EncodedSize(origLen) {
 		return nil, rep, fmt.Errorf("%w: need %d bytes, have %d", ecc.ErrTruncated, c.EncodedSize(origLen), len(encoded))
 	}
 	ns := c.stripes(origLen)
-	out := make([]byte, origLen)
-	sdb := c.stripeDataBytes()
-	seb := c.stripeEncBytes()
+	out := ecc.GrowTo(dst, origLen)
 	var detected, corrected, failed int64
-	parallel.For(ns, c.Workers, func(lo, hi int) {
-		var ldet, lcor, lfail int64
-		for s := lo; s < hi; s++ {
-			dst := out[min(s*sdb, origLen):min((s+1)*sdb, origLen)]
-			det, cor, err := c.decodeStripe(encoded[s*seb:(s+1)*seb], dst)
-			ldet += int64(det)
-			lcor += int64(cor)
-			if err != nil {
-				lfail++
-			}
-		}
-		atomic.AddInt64(&detected, ldet)
-		atomic.AddInt64(&corrected, lcor)
-		atomic.AddInt64(&failed, lfail)
-	})
+	// Serial fast path: see EncodeTo. The atomics live inside the
+	// parallel branch — counters captured by an escaping closure are
+	// heap-allocated at their declaration, so they must not be declared
+	// on the path the steady state takes.
+	if parallel.Clamp(c.Workers, ns) == 1 {
+		detected, corrected, failed = c.decodeRange(encoded, out, origLen, 0, ns)
+	} else {
+		var adet, acor, afail int64
+		parallel.For(ns, c.Workers, func(lo, hi int) {
+			ldet, lcor, lfail := c.decodeRange(encoded, out, origLen, lo, hi)
+			atomic.AddInt64(&adet, ldet)
+			atomic.AddInt64(&acor, lcor)
+			atomic.AddInt64(&afail, lfail)
+		})
+		detected, corrected, failed = adet, acor, afail
+	}
 	rep.DetectedBlocks = int(detected)
 	rep.CorrectedBlocks = int(corrected)
 	if failed > 0 {
 		return out, rep, fmt.Errorf("%w: %d stripe(s) had more than %d corrupt devices", ecc.ErrUncorrectable, failed, c.M)
 	}
 	return out, rep, nil
+}
+
+// decodeRange decodes stripes [lo, hi), returning local counters; safe
+// to run concurrently on disjoint ranges.
+func (c *Code) decodeRange(encoded, out []byte, origLen, lo, hi int) (det, cor, fail int64) {
+	sdb := c.stripeDataBytes()
+	seb := c.stripeEncBytes()
+	for s := lo; s < hi; s++ {
+		dst := out[min(s*sdb, origLen):min((s+1)*sdb, origLen)]
+		d, co, err := c.decodeStripe(encoded[s*seb:(s+1)*seb], dst)
+		det += int64(d)
+		cor += int64(co)
+		if err != nil {
+			fail++
+		}
+	}
+	return det, cor, fail
 }
 
 // decodeStripe verifies one stripe and writes the recovered data
@@ -316,4 +367,8 @@ func (c *Code) decodeStripe(stripe, dst []byte) (detected, corrected int, err er
 	return detected, corrected, nil
 }
 
-var _ ecc.Code = (*Code)(nil)
+var (
+	_ ecc.Code      = (*Code)(nil)
+	_ ecc.EncoderTo = (*Code)(nil)
+	_ ecc.DecoderTo = (*Code)(nil)
+)

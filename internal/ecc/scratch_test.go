@@ -1,0 +1,161 @@
+package ecc_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+	"repro/internal/ecc/hamming"
+	"repro/internal/ecc/interleave"
+	"repro/internal/ecc/parity"
+	"repro/internal/ecc/reedsolomon"
+	"repro/internal/ecc/secded"
+)
+
+func testCodes(t *testing.T) []ecc.Code {
+	t.Helper()
+	rs, err := reedsolomon.New(5, 3, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	il, err := interleave.NewSECDED(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ecc.Code{
+		parity.New(8, 1),
+		hamming.New(8, 1),
+		hamming.New(64, 1),
+		secded.New(64, 1),
+		rs,
+		il,
+	}
+}
+
+// poison fills b with a nonzero pattern so stale scratch contents that
+// leak into an output are caught by the byte-compare.
+func poison(b []byte) []byte {
+	for i := range b {
+		b[i] = 0xA5
+	}
+	return b
+}
+
+// TestEncodeToMatchesEncode drives every code's EncodeTo/DecodeTo with
+// deliberately dirty, reused dst and scratch buffers across many
+// lengths (including partial final blocks/stripes/codewords) and
+// requires byte-identical results to the allocating Encode/Decode.
+func TestEncodeToMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{0, 1, 7, 8, 9, 63, 64, 65, 200, 319, 320, 321, 1000, 4096}
+	for _, c := range testCodes(t) {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			var scratch ecc.Scratch
+			var dst, ddst []byte
+			// Reuse dst/scratch across iterations in descending-then-
+			// ascending length order so both grow and shrink paths run.
+			for pass := 0; pass < 2; pass++ {
+				for _, n := range lengths {
+					data := make([]byte, n)
+					rng.Read(data)
+
+					want := c.Encode(data)
+					dst = poison(ecc.GrowTo(dst, c.EncodedSize(n)))
+					got := ecc.EncodeTo(c, dst, data, &scratch)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("n=%d pass=%d: EncodeTo differs from Encode", n, pass)
+					}
+
+					wantDec, wantRep, wantErr := c.Decode(want, n)
+					ddst = poison(ecc.GrowTo(ddst, n))
+					gotDec, gotRep, gotErr := ecc.DecodeTo(c, ddst, got, n, &scratch)
+					if !bytes.Equal(gotDec, wantDec) || gotRep != wantRep || !errors.Is(gotErr, wantErr) {
+						t.Fatalf("n=%d pass=%d: DecodeTo differs from Decode (rep %+v vs %+v, err %v vs %v)",
+							n, pass, gotRep, wantRep, gotErr, wantErr)
+					}
+					if !bytes.Equal(gotDec, data) {
+						t.Fatalf("n=%d pass=%d: clean round trip corrupted data", n, pass)
+					}
+				}
+				// Second pass ascends after the first descends.
+				for i, j := 0, len(lengths)-1; i < j; i, j = i+1, j-1 {
+					lengths[i], lengths[j] = lengths[j], lengths[i]
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeToCorrectsWithDirtyScratch flips a bit and checks the *To
+// path still corrects it with reused scratch.
+func TestDecodeToCorrectsWithDirtyScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range testCodes(t) {
+		if !c.Caps().Has(ecc.CorrectSparse) {
+			continue
+		}
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			var scratch ecc.Scratch
+			var dst []byte
+			data := make([]byte, 777)
+			rng.Read(data)
+			for trial := 0; trial < 8; trial++ {
+				enc := ecc.EncodeTo(c, nil, data, &scratch)
+				enc[rng.Intn(len(enc))] ^= 1 << rng.Intn(8)
+				dst = poison(ecc.GrowTo(dst, len(data)))
+				got, rep, err := ecc.DecodeTo(c, dst, enc, len(data), &scratch)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("trial %d: single flip not corrected", trial)
+				}
+				if rep.CorrectedBits+rep.CorrectedBlocks == 0 && rep.DetectedBlocks == 0 {
+					// The flip may have landed in interleaver padding,
+					// which no codeword covers — that's fine.
+					continue
+				}
+			}
+		})
+	}
+}
+
+// fallbackCode implements only ecc.Code; the package helpers must
+// still work (via Encode/Decode plus copy).
+type fallbackCode struct{ ecc.Code }
+
+func TestToHelpersFallBackForPlainCodes(t *testing.T) {
+	base := parity.New(8, 1)
+	c := fallbackCode{base}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	var scratch ecc.Scratch
+	dst := poison(make([]byte, base.EncodedSize(len(data))))
+	got := ecc.EncodeTo(c, dst, data, &scratch)
+	if !bytes.Equal(got, base.Encode(data)) {
+		t.Fatal("fallback EncodeTo mismatch")
+	}
+	dec, _, err := ecc.DecodeTo(c, poison(make([]byte, len(data))), got, len(data), &scratch)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("fallback DecodeTo mismatch: %v", err)
+	}
+}
+
+func TestScratchSlotGrowOnly(t *testing.T) {
+	var s ecc.Scratch
+	a := s.Slot(3, 100)
+	if len(a) != 100 {
+		t.Fatalf("slot len = %d, want 100", len(a))
+	}
+	b := s.Slot(3, 50)
+	if len(b) != 50 || &a[0] != &b[0] {
+		t.Fatal("shrinking a slot must reuse its storage")
+	}
+	var nilScratch *ecc.Scratch
+	if got := nilScratch.Slot(0, 10); len(got) != 10 {
+		t.Fatal("nil scratch must degrade to allocation")
+	}
+}

@@ -37,6 +37,22 @@ type Codec struct {
 	// symbol and code length directly for codes up to lutBits long;
 	// entries with length 0 fall back to the canonical walk.
 	lut []lutEntry
+
+	// nodes is grow-only scratch for the Huffman tree: BuildInto carves
+	// all 2*nused-1 nodes out of one slab instead of allocating each.
+	nodes []hnode
+	// hscratch is the grow-only heap backing array for BuildInto.
+	hscratch []*hnode
+}
+
+// grow returns s resized to n elements, reusing its backing array when
+// the capacity suffices. Contents are unspecified; callers that depend
+// on zeroing must clear explicitly.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
 }
 
 // lutBits sizes the fast decode table (4096 entries, 24 KiB).
@@ -75,6 +91,15 @@ func (h *hheap) Pop() interface{} {
 // Build constructs a canonical Huffman code from symbol frequencies.
 // At least one frequency must be positive.
 func Build(freqs []int64) (*Codec, error) {
+	return BuildInto(nil, freqs)
+}
+
+// BuildInto is Build reusing c's storage (tables, tree nodes, and the
+// decode LUT) when their capacity suffices, so a codec rebuilt per
+// chunk allocates nothing in steady state. A nil c allocates a fresh
+// codec. On error c's tables are left in an unspecified state; reusing
+// it for a later BuildInto/ReadTableMaxInto call remains valid.
+func BuildInto(c *Codec, freqs []int64) (*Codec, error) {
 	n := len(freqs)
 	if n == 0 {
 		return nil, errors.New("huffman: empty alphabet")
@@ -82,16 +107,35 @@ func Build(freqs []int64) (*Codec, error) {
 	if n > maxAlphabet {
 		return nil, fmt.Errorf("huffman: alphabet size %d exceeds limit %d", n, maxAlphabet)
 	}
-	var h hheap
-	for s, f := range freqs {
+	if c == nil {
+		c = new(Codec)
+	}
+	nused := 0
+	for _, f := range freqs {
 		if f > 0 {
-			h = append(h, &hnode{freq: f, sym: s})
+			nused++
 		}
 	}
-	if len(h) == 0 {
+	if nused == 0 {
 		return nil, errors.New("huffman: no symbols with positive frequency")
 	}
-	c := &Codec{NumSymbols: n, lengths: make([]uint8, n), codes: make([]uint64, n)}
+	c.NumSymbols = n
+	c.lengths = grow(c.lengths, n)
+	clear(c.lengths)
+	c.codes = grow(c.codes, n)
+	// One slab holds every tree node (nused leaves + nused-1 internal);
+	// the heap takes stable pointers into it because the slab is sized
+	// up front and never reallocated mid-build.
+	c.nodes = grow(c.nodes, 2*nused-1)
+	ni := 0
+	h := hheap(c.hscratch[:0])
+	for s, f := range freqs {
+		if f > 0 {
+			c.nodes[ni] = hnode{freq: f, sym: s}
+			h = append(h, &c.nodes[ni])
+			ni++
+		}
+	}
 	if len(h) == 1 {
 		// Degenerate single-symbol alphabet: one-bit code.
 		c.lengths[h[0].sym] = 1
@@ -100,13 +144,16 @@ func Build(freqs []int64) (*Codec, error) {
 		for h.Len() > 1 {
 			a := heap.Pop(&h).(*hnode)
 			b := heap.Pop(&h).(*hnode)
-			heap.Push(&h, &hnode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+			c.nodes[ni] = hnode{freq: a.freq + b.freq, sym: -1, left: a, right: b}
+			heap.Push(&h, &c.nodes[ni])
+			ni++
 		}
 		root := h[0]
 		if err := assignLengths(root, 0, c.lengths); err != nil {
 			return nil, err
 		}
 	}
+	c.hscratch = h[:0]
 	if err := c.buildCanonical(); err != nil {
 		return nil, err
 	}
@@ -134,7 +181,7 @@ func assignLengths(n *hnode, depth int, lengths []uint8) error {
 // headers trip over.
 func (c *Codec) buildCanonical() error {
 	maxLen := 0
-	counts := make([]int, MaxCodeLen+1)
+	var counts [MaxCodeLen + 1]int
 	for _, l := range c.lengths {
 		if int(l) > MaxCodeLen {
 			return ErrCorrupt
@@ -158,8 +205,9 @@ func (c *Codec) buildCanonical() error {
 	if kraft > 1<<uint(maxLen) {
 		return ErrCorrupt
 	}
-	// Symbols sorted by (length, symbol value).
-	used := make([]int32, 0, len(c.lengths))
+	// Symbols sorted by (length, symbol value); the previous build's
+	// slice is reused as the append target.
+	used := c.symsByCode[:0]
 	for s, l := range c.lengths {
 		if l > 0 {
 			used = append(used, int32(s)) //arcvet:ignore mathbits s < maxAlphabet (1<<26), enforced by Build and ReadTable
@@ -173,8 +221,8 @@ func (c *Codec) buildCanonical() error {
 		return used[i] < used[j]
 	})
 	c.symsByCode = used
-	c.firstCode = make([]uint64, maxLen+2)
-	c.firstIndex = make([]int, maxLen+2)
+	c.firstCode = grow(c.firstCode, maxLen+2)
+	c.firstIndex = grow(c.firstIndex, maxLen+2)
 	code := uint64(0)
 	idx := 0
 	for l := 1; l <= maxLen; l++ {
@@ -187,8 +235,8 @@ func (c *Codec) buildCanonical() error {
 	c.firstIndex[maxLen+1] = idx
 	// Codes within a length are assigned in symsByCode order, so a
 	// single pass with per-length counters covers every symbol.
-	next := make([]uint64, maxLen+1)
-	copy(next, c.firstCode[:maxLen+1])
+	var next [MaxCodeLen + 1]uint64
+	copy(next[:], c.firstCode[:maxLen+1])
 	for _, s := range used {
 		l := int(c.lengths[s])
 		c.codes[s] = next[l]
@@ -199,9 +247,12 @@ func (c *Codec) buildCanonical() error {
 }
 
 // buildLUT fills the fast decode table: every lutBits-wide window
-// whose prefix is the code of symbol s maps to (s, len).
+// whose prefix is the code of symbol s maps to (s, len). The table is
+// cleared before filling: Decode treats a zero length as "no short
+// code", so stale entries from a reused codec would mis-decode.
 func (c *Codec) buildLUT() {
-	c.lut = make([]lutEntry, 1<<lutBits)
+	c.lut = grow(c.lut, 1<<lutBits)
+	clear(c.lut)
 	for _, s := range c.symsByCode {
 		l := int(c.lengths[s])
 		if l > lutBits {
@@ -298,6 +349,14 @@ func ReadTable(r *bitio.Reader) (*Codec, error) {
 // a decoder that knows its alphabet passes maxSyms to keep a corrupted
 // table header from allocating beyond it.
 func ReadTableMax(r *bitio.Reader, maxSyms int) (*Codec, error) {
+	return ReadTableMaxInto(nil, r, maxSyms)
+}
+
+// ReadTableMaxInto is ReadTableMax reusing c's storage (length/code
+// tables and the decode LUT) when its capacity suffices; a nil c
+// allocates a fresh codec. On error c is left in an unspecified state
+// but remains valid for a later *Into call.
+func ReadTableMaxInto(c *Codec, r *bitio.Reader, maxSyms int) (*Codec, error) {
 	if maxSyms <= 0 || maxSyms > maxAlphabet {
 		maxSyms = maxAlphabet
 	}
@@ -318,11 +377,13 @@ func ReadTableMax(r *bitio.Reader, maxSyms int) (*Codec, error) {
 	if need := nused * 38; need > uint64(r.Remaining()) { //arcvet:ignore mathbits Remaining is a non-negative bit count
 		return nil, fmt.Errorf("%w: table claims %d entries but only %d bits remain", ErrCorrupt, nused, r.Remaining())
 	}
-	c := &Codec{
-		NumSymbols: int(nsym), //arcvet:ignore mathbits nsym <= maxAlphabet is validated above
-		lengths:    make([]uint8, nsym),
-		codes:      make([]uint64, nsym),
+	if c == nil {
+		c = new(Codec)
 	}
+	c.NumSymbols = int(nsym) //arcvet:ignore mathbits nsym <= maxAlphabet is validated above
+	c.lengths = grow(c.lengths, c.NumSymbols)
+	clear(c.lengths) // the duplicate-symbol check below reads zeroes
+	c.codes = grow(c.codes, c.NumSymbols)
 	for i := uint64(0); i < nused; i++ {
 		s, err := r.ReadBits(32)
 		if err != nil {

@@ -25,9 +25,11 @@ var ErrPipeAborted = errors.New("parallel: pipeline aborted")
 // until ok == false; anyone calls Wait. Abort unblocks a producer
 // stuck in Submit and makes workers skip remaining items, but the
 // drain-then-Wait sequence is still required.
+//
+// Steady-state Submit/Next round trips are allocation-free: job cells
+// (including their completion channels) are recycled through an
+// internal sync.Pool once the consumer has observed them.
 type Pipe[I, O any] struct {
-	fn func(I) (O, error)
-
 	// jobs feeds the workers; pending holds the same jobs in
 	// submission order for the consumer. Both have capacity `window`,
 	// and every job enters pending first, so neither send can block
@@ -36,12 +38,21 @@ type Pipe[I, O any] struct {
 	pending chan *pipeJob[I, O]
 	quit    chan struct{}
 
+	// free recycles consumed pipeJob cells. A job is only Put after
+	// Next (or the abort-drain loop) has read its result, at which
+	// point no worker or producer references it.
+	free sync.Pool
+
 	aborted   atomic.Bool
 	workers   sync.WaitGroup
 	closeOnce sync.Once
 	abortOnce sync.Once
 }
 
+// pipeJob carries one item through the pipe. done is a one-slot
+// buffered channel used as a reusable completion signal: exactly one
+// send (by the completing side) and one receive (by the consumer) per
+// trip through the pipe, so the cell can be pooled afterwards.
 type pipeJob[I, O any] struct {
 	in   I
 	out  O
@@ -53,6 +64,19 @@ type pipeJob[I, O any] struct {
 // GOMAXPROCS) and in-flight window (raised to the worker count when
 // smaller, so no worker is permanently idle).
 func NewPipe[I, O any](workers, window int, fn func(I) (O, error)) *Pipe[I, O] {
+	return NewPipeWith(workers, window,
+		func() struct{} { return struct{}{} },
+		func(in I, _ struct{}) (O, error) { return fn(in) })
+}
+
+// NewPipeWith is NewPipe with per-worker state: each worker goroutine
+// calls newState exactly once on startup and passes its private state
+// value to every fn invocation it runs. Because a state value is only
+// ever touched by the goroutine that created it, fn can use it as a
+// scratch arena (reusable buffers, cached lookups) without locks and
+// without per-job allocation. newState runs on the worker goroutine
+// itself, so lazily-initialized state lands in that worker's cache.
+func NewPipeWith[I, O, S any](workers, window int, newState func() S, fn func(I, S) (O, error)) *Pipe[I, O] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -60,38 +84,55 @@ func NewPipe[I, O any](workers, window int, fn func(I) (O, error)) *Pipe[I, O] {
 		window = workers
 	}
 	p := &Pipe[I, O]{
-		fn:      fn,
 		jobs:    make(chan *pipeJob[I, O], window),
 		pending: make(chan *pipeJob[I, O], window),
 		quit:    make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		p.workers.Add(1)
-		go p.worker()
+		go func() {
+			defer p.workers.Done()
+			state := newState()
+			for j := range p.jobs {
+				if p.aborted.Load() {
+					j.err = ErrPipeAborted
+				} else {
+					j.out, j.err = fn(j.in, state)
+				}
+				j.done <- struct{}{}
+			}
+		}()
 	}
 	return p
 }
 
-func (p *Pipe[I, O]) worker() {
-	defer p.workers.Done()
-	for j := range p.jobs {
-		if p.aborted.Load() {
-			j.err = ErrPipeAborted
-		} else {
-			j.out, j.err = p.fn(j.in)
-		}
-		close(j.done)
+// getJob returns a recycled (or new) job cell with in set.
+func (p *Pipe[I, O]) getJob(in I) *pipeJob[I, O] {
+	if j, ok := p.free.Get().(*pipeJob[I, O]); ok {
+		j.in = in
+		return j
 	}
+	return &pipeJob[I, O]{in: in, done: make(chan struct{}, 1)}
+}
+
+// putJob recycles a fully-consumed job cell, dropping its payload
+// references so pooled cells do not retain caller memory.
+func (p *Pipe[I, O]) putJob(j *pipeJob[I, O]) {
+	var zi I
+	var zo O
+	j.in, j.out, j.err = zi, zo, nil
+	p.free.Put(j)
 }
 
 // Submit enqueues one item, blocking while the in-flight window is
 // full. It returns ErrPipeAborted (without enqueueing) once the pipe
 // has been aborted.
 func (p *Pipe[I, O]) Submit(in I) error {
-	j := &pipeJob[I, O]{in: in, done: make(chan struct{})}
+	j := p.getJob(in)
 	select {
 	case p.pending <- j:
 	case <-p.quit:
+		p.putJob(j)
 		return ErrPipeAborted
 	}
 	select {
@@ -100,7 +141,7 @@ func (p *Pipe[I, O]) Submit(in I) error {
 		// The job is already visible to the consumer, so it must be
 		// completed here: no worker is obliged to pick it up anymore.
 		j.err = ErrPipeAborted
-		close(j.done)
+		j.done <- struct{}{}
 	}
 	return nil
 }
@@ -126,7 +167,9 @@ func (p *Pipe[I, O]) Next() (out O, ok bool, err error) {
 		return zero, false, nil
 	}
 	<-j.done
-	return j.out, true, j.err
+	out, err = j.out, j.err
+	p.putJob(j)
+	return out, true, err
 }
 
 // Abort cancels the pipeline: a blocked or future Submit fails with

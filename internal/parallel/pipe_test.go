@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/raceflag"
 )
 
 func TestPipePreservesOrder(t *testing.T) {
@@ -164,6 +166,119 @@ func TestPipeSingleWorkerDefaultsAndZeroItems(t *testing.T) {
 		t.Fatal("empty closed pipe must be done")
 	}
 	p.Wait()
+}
+
+// workerScratch is deliberately non-atomic: if two Pipe workers ever
+// shared one state value, the race detector would flag the unsynchronized
+// hits increments and the hits totals would be corrupted.
+type workerScratch struct {
+	id   int64
+	hits int
+	buf  []byte
+}
+
+func TestPipeWithPerWorkerState(t *testing.T) {
+	const workers, items = 4, 400
+	var created atomic.Int64
+	var mu chan struct{} // buffered-1 channel used as a mutex for the registry
+	mu = make(chan struct{}, 1)
+	registry := make(map[*workerScratch]bool)
+
+	p := NewPipeWith(workers, workers,
+		func() *workerScratch {
+			s := &workerScratch{id: created.Add(1), buf: make([]byte, 64)}
+			mu <- struct{}{}
+			registry[s] = true
+			<-mu
+			return s
+		},
+		func(i int, s *workerScratch) (int64, error) {
+			s.hits++ // unsynchronized on purpose: state must be worker-private
+			for k := range s.buf {
+				s.buf[k] = byte(i)
+			}
+			return s.id, nil
+		})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < items; i++ {
+			if err := p.Submit(i); err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+		}
+		p.Close()
+	}()
+	seen := make(map[int64]bool)
+	for {
+		id, ok, err := p.Next()
+		if !ok {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		seen[id] = true
+	}
+	<-done
+	p.Wait()
+
+	if got := created.Load(); got != workers {
+		t.Fatalf("newState called %d times, want exactly %d (once per worker)", got, workers)
+	}
+	if len(registry) != workers {
+		t.Fatalf("%d distinct state values, want %d", len(registry), workers)
+	}
+	total := 0
+	for s := range registry {
+		total += s.hits
+	}
+	if total != items {
+		t.Fatalf("per-worker hit counts sum to %d, want %d (lost or doubled updates imply shared state)", total, items)
+	}
+	if len(seen) == 0 || len(seen) > workers {
+		t.Fatalf("results reported %d worker ids, want between 1 and %d", len(seen), workers)
+	}
+}
+
+// TestPipeSteadyStateAllocFree pins the pooled-job design: after
+// warm-up, a Submit/Next round trip through the pipe performs no
+// allocations on the producer/consumer goroutine. (Worker-side costs
+// are fn's business; here fn does nothing.)
+func TestPipeSteadyStateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	p := NewPipe(1, 1, func(i int) (int, error) { return i, nil })
+	defer func() {
+		p.Close()
+		for {
+			if _, ok, _ := p.Next(); !ok {
+				break
+			}
+		}
+		p.Wait()
+	}()
+	for i := 0; i < 64; i++ { // warm the job pool
+		if err := p.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := p.Next(); !ok || err != nil {
+			t.Fatalf("warmup next: ok=%v err=%v", ok, err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := p.Submit(7); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := p.Next(); !ok || err != nil {
+			t.Fatalf("next: ok=%v err=%v", ok, err)
+		}
+	})
+	if avg > 0.1 {
+		t.Fatalf("steady-state Submit/Next allocates %.2f allocs/op, want ~0", avg)
+	}
 }
 
 func TestPipeStressLeakFree(t *testing.T) {

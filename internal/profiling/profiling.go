@@ -1,0 +1,74 @@
+// Package profiling wires the conventional -cpuprofile/-memprofile
+// flags into a command's flag set and manages the runtime/pprof
+// sessions behind them. Both cmd/arc and cmd/arcstudy use it, so the
+// chunk hot path and the fault-injection study can be profiled with
+// the same switches `go test` uses:
+//
+//	arc encode -in f -out f.arc -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	cpu string
+	mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs and returns the
+// holder to Start later.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := new(Flags)
+	fs.StringVar(&f.cpu, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.mem, "memprofile", "", "write a heap allocation profile to `file` on exit")
+	return f
+}
+
+// Start begins CPU profiling when requested. The returned stop
+// function ends the CPU profile and writes the heap profile; call it
+// (typically via defer) after the measured work. Profile-write
+// failures at stop time are reported to stderr rather than returned:
+// by then the command's real work has succeeded and its exit status
+// should say so.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile *os.File
+	if f.cpu != "" {
+		cpuFile, err = os.Create(f.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close() // the StartCPUProfile error is the one to report
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: cpuprofile:", err)
+			}
+		}
+		if f.mem != "" {
+			mf, err := os.Create(f.mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
+				return
+			}
+			runtime.GC() // flush recently freed objects so live-heap numbers are current
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
+			}
+			if err := mf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
+			}
+		}
+	}, nil
+}

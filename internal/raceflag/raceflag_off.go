@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package raceflag exposes whether the binary was built with the race
+// detector. Allocation-regression tests use it to skip themselves:
+// -race instruments every memory access and perturbs both allocation
+// counts and sync.Pool behavior, so allocs/op assertions are
+// meaningless under it.
+package raceflag
+
+// Enabled reports whether the race detector is active in this build.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package raceflag
+
+// Enabled reports whether the race detector is active in this build.
+const Enabled = true

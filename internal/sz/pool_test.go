@@ -1,0 +1,98 @@
+package sz
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestPooledPathsAreDeterministic compresses and decompresses the same
+// field repeatedly so the second and later iterations run entirely on
+// pooled state (histogram, Huffman codecs, flate writer/reader). Any
+// stale state leaking across reuses would break byte-identity or the
+// round trip.
+func TestPooledPathsAreDeterministic(t *testing.T) {
+	dims := []int{32, 48}
+	data := make([]float64, dims[0]*dims[1])
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.05) + 0.3*math.Cos(float64(i)*0.17)
+	}
+	for _, opts := range []Options{
+		{Mode: ModeABS, ErrorBound: 1e-3},
+		{Mode: ModePWREL, ErrorBound: 1e-3},
+		{Mode: ModeABS, ErrorBound: 1e-3, Regression: true},
+	} {
+		var first []byte
+		for iter := 0; iter < 4; iter++ {
+			buf, err := Compress(data, dims, opts)
+			if err != nil {
+				t.Fatalf("%s iter %d: %v", opts.Mode, iter, err)
+			}
+			if iter == 0 {
+				first = buf
+			} else if !bytes.Equal(buf, first) {
+				t.Fatalf("%s iter %d: compressed bytes differ from first run", opts.Mode, iter)
+			}
+			out, gotDims, err := Decompress(buf)
+			if err != nil {
+				t.Fatalf("%s iter %d: decompress: %v", opts.Mode, iter, err)
+			}
+			if len(gotDims) != 2 || gotDims[0] != dims[0] || gotDims[1] != dims[1] {
+				t.Fatalf("%s iter %d: dims %v", opts.Mode, iter, gotDims)
+			}
+			for i, v := range out {
+				if math.Abs(v-data[i]) > 2e-3 {
+					t.Fatalf("%s iter %d: value %d off by %g", opts.Mode, iter, i, math.Abs(v-data[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestPooledPathsConcurrent hammers the pools from many goroutines:
+// sync.Pool must hand each caller private scratch, so results stay
+// deterministic under concurrency (the fault-injection harness runs
+// trials in parallel).
+func TestPooledPathsConcurrent(t *testing.T) {
+	dims := []int{16, 16}
+	data := make([]float64, dims[0]*dims[1])
+	for i := range data {
+		data[i] = float64(i%37) * 0.25
+	}
+	opts := Options{Mode: ModeABS, ErrorBound: 1e-4}
+	want, err := Compress(data, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				buf, err := Compress(data, dims, opts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, want) {
+					errs <- errStreamMismatch
+					return
+				}
+				if _, _, err := Decompress(buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errStreamMismatch = wrapCorrupt("concurrent compression produced a different stream")

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/bitio"
 	"repro/internal/huffman"
@@ -336,6 +337,30 @@ func compressPWREL(data []float64, dims []int, rel float64, useReg bool) ([]byte
 	return assemble(ModePWREL, rel, eb, dims, syms, unpred, flags, minLog, nil)
 }
 
+// encScratch holds assemble's large reusable state: the 512 KiB symbol
+// histogram (cleared on reuse) and the Huffman codec whose tables are
+// rebuilt in place via huffman.BuildInto. It circulates through
+// encScratchPool; holders must not retain any view of it past Put.
+type encScratch struct {
+	freqs []int64
+	codec huffman.Codec
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+// flateWriterPool recycles DEFLATE compressors across assemble calls;
+// each use rebinds the writer to its destination with Reset. Writers
+// are detached from the caller's buffer (Reset to io.Discard) before
+// going back so the pool never pins output buffers.
+var flateWriterPool = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		// flate.NewWriter fails only for invalid levels; BestSpeed is valid.
+		panic(err)
+	}
+	return w
+}}
+
 // assemble serializes all streams into the final compressed buffer:
 // header, optional regression sections, Huffman table + codes,
 // unpredictable values, optional PWREL flag stream — then the DEFLATE
@@ -384,14 +409,24 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 		}
 	}
 
-	// Huffman stage over the symbol alphabet actually used.
-	freqs := make([]int64, 2*quantRadius)
+	// Huffman stage over the symbol alphabet actually used. The
+	// histogram and codec tables come from the scratch pool so repeated
+	// compressions reuse their half-megabyte of state.
+	es := encScratchPool.Get().(*encScratch)
+	defer encScratchPool.Put(es)
+	if cap(es.freqs) < 2*quantRadius {
+		es.freqs = make([]int64, 2*quantRadius)
+	} else {
+		es.freqs = es.freqs[:2*quantRadius]
+		clear(es.freqs)
+	}
+	freqs := es.freqs
 	for _, s := range syms {
 		freqs[s]++
 	}
 	var hw bitio.Writer
 	if len(syms) > 0 {
-		codec, err := huffman.Build(freqs)
+		codec, err := huffman.BuildInto(&es.codec, freqs)
 		if err != nil {
 			return nil, err
 		}
@@ -414,20 +449,23 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 		payload.Write(fw.Bytes())
 	}
 
-	// Final lossless pass (ZStd stand-in).
+	// Final lossless pass (ZStd stand-in). On write/close errors the
+	// writer is abandoned to the GC rather than pooled in an unknown
+	// state (bytes.Buffer writes cannot fail, so this never happens in
+	// practice).
 	var out bytes.Buffer
 	out.WriteString(magic)
 	binWrite(&out, safecast.U64(payload.Len()))
-	fw, err := flate.NewWriter(&out, flate.BestSpeed)
-	if err != nil {
-		return nil, err
-	}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(&out)
 	if _, err := fw.Write(payload.Bytes()); err != nil {
 		return nil, err
 	}
 	if err := fw.Close(); err != nil {
 		return nil, err
 	}
+	fw.Reset(io.Discard)
+	flateWriterPool.Put(fw)
 	return out.Bytes(), nil
 }
 
@@ -469,12 +507,50 @@ func Decompress(buf []byte) ([]float64, []int, error) {
 // allocations proportional to the input actually supplied.
 const maxDeflateRatio = 1032
 
+// inflater bundles a reusable DEFLATE reader with its source adapter.
+// flate.NewReader allocates roughly 45 KiB of window and Huffman state
+// per call; resetting one instance via flate.Resetter amortizes that
+// across decompressions.
+type inflater struct {
+	src bytes.Reader
+	fr  io.ReadCloser // satisfies flate.Resetter by construction
+}
+
+var inflaterPool = sync.Pool{New: func() any {
+	inf := new(inflater)
+	inf.fr = flate.NewReader(&inf.src)
+	return inf
+}}
+
 // inflate decompresses src, expecting exactly want bytes. The output
 // buffer grows geometrically as bytes actually arrive instead of being
 // pre-sized from the header, so a corrupted length field costs memory
 // proportional to what the DEFLATE stream really yields.
 func inflate(src []byte, want int) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(src))
+	inf, ok := inflaterPool.Get().(*inflater)
+	if !ok {
+		// Unreachable (the pool's New returns *inflater); a zero value
+		// is still fine — the Resetter check below sees a nil fr and
+		// builds the reader.
+		inf = new(inflater)
+	}
+	defer func() {
+		// Detach the caller's buffer before pooling so the pool never
+		// pins input streams.
+		inf.src.Reset(nil)
+		inflaterPool.Put(inf)
+	}()
+	inf.src.Reset(src)
+	if rr, ok := inf.fr.(flate.Resetter); ok {
+		if err := rr.Reset(&inf.src, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		// Unreachable with the standard library (flate readers implement
+		// Resetter), but a fresh reader keeps this path correct anyway.
+		inf.fr = flate.NewReader(&inf.src)
+	}
+	fr := inf.fr
 	buf := make([]byte, min(want, 64<<10))
 	read := 0
 	for {
@@ -490,6 +566,10 @@ func inflate(src []byte, want int) ([]byte, error) {
 		buf = grown
 	}
 }
+
+// decCodecPool recycles decode-side Huffman codecs across parsePayload
+// calls (ReadTableMaxInto reuses the tables in place).
+var decCodecPool = sync.Pool{New: func() any { return new(huffman.Codec) }}
 
 func parsePayload(p []byte) ([]float64, []int, error) {
 	rd := &byteReader{buf: p}
@@ -584,7 +664,16 @@ func parsePayload(p []byte) ([]float64, []int, error) {
 	syms := make([]int32, n)
 	if n > 0 {
 		br := bitio.NewReader(hb)
-		codec, err := huffman.ReadTableMax(br, 2*quantRadius)
+		// The decode codec's tables (including the 24 KiB LUT) are
+		// pooled; ReadTableMaxInto rebuilds them in place. The codec is
+		// self-contained (no views of hb survive in it), so pooling it
+		// after an error is safe.
+		cd, ok := decCodecPool.Get().(*huffman.Codec)
+		if !ok {
+			cd = new(huffman.Codec) // unreachable: the pool's New returns *huffman.Codec
+		}
+		defer decCodecPool.Put(cd)
+		codec, err := huffman.ReadTableMaxInto(cd, br, 2*quantRadius)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}

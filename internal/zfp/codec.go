@@ -3,9 +3,45 @@ package zfp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bitio"
 )
+
+// blockScratch is the per-block working set: gathered values, the
+// fixed-point coefficients, and the negabinary magnitudes. Blocks are
+// tiny (4^d values) but the codec touches one per 4^d samples, so
+// allocating these per block dominated the encoder's garbage.
+type blockScratch struct {
+	vals   []float64
+	coeffs []int64
+	u      []uint64
+}
+
+var blockScratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// getBlockScratch returns a scratch sized for size-element blocks.
+// Contents are unspecified; encodeBlock/decodeBlock assign (or clear)
+// every element they read.
+func getBlockScratch(size int) *blockScratch {
+	s, ok := blockScratchPool.Get().(*blockScratch)
+	if !ok {
+		s = new(blockScratch) // unreachable: the pool's New returns *blockScratch
+	}
+	s.vals = growSlice(s.vals, size)
+	s.coeffs = growSlice(s.coeffs, size)
+	s.u = growSlice(s.u, size)
+	return s
+}
+
+func putBlockScratch(s *blockScratch) { blockScratchPool.Put(s) }
+
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
 
 // blockBits returns the exact bit budget of one fixed-rate block.
 func blockBits(rate float64, size int) int {
@@ -62,8 +98,10 @@ func blockExp(vals []float64) (int, bool) {
 	return e, nonzero
 }
 
-// encodeBlock writes one block. coeffs is scratch of length blockSize.
-func encodeBlock(w *bitio.Writer, vals []float64, coeffs []int64, bl *blocker, opts Options) {
+// encodeBlock writes one block from s.vals (filled by the caller's
+// gather); s.coeffs and s.u are scratch.
+func encodeBlock(w *bitio.Writer, s *blockScratch, bl *blocker, opts Options) {
+	vals, coeffs := s.vals, s.coeffs
 	size := bl.blockSize
 	rateMode := opts.Mode == ModeRate
 	var budget int
@@ -89,8 +127,9 @@ func encodeBlock(w *bitio.Writer, vals []float64, coeffs []int64, bl *blocker, o
 			coeffs[i] = int64(v * scale)
 		}
 		fwdXform(coeffs, bl.nd)
-		// Reorder to sequency order and map to negabinary.
-		u := make([]uint64, size)
+		// Reorder to sequency order and map to negabinary. Every entry
+		// of the reused scratch is assigned, so no clearing is needed.
+		u := s.u
 		for i, p := range bl.perm {
 			u[i] = int2uint(coeffs[p])
 		}
@@ -165,8 +204,10 @@ func encodePlanes(w *bitio.Writer, u []uint64, size, kmin, bits int) {
 	}
 }
 
-// decodeBlock reads one block into vals.
-func decodeBlock(r *bitio.Reader, vals []float64, coeffs []int64, bl *blocker, opts Options) error {
+// decodeBlock reads one block into s.vals (scattered by the caller);
+// s.coeffs and s.u are scratch.
+func decodeBlock(r *bitio.Reader, s *blockScratch, bl *blocker, opts Options) error {
+	vals, coeffs := s.vals, s.coeffs
 	size := bl.blockSize
 	rateMode := opts.Mode == ModeRate
 	var budget int
@@ -195,7 +236,10 @@ func decodeBlock(r *bitio.Reader, vals []float64, coeffs []int64, bl *blocker, o
 		if !rateMode {
 			kmin = kminFor(opts, emax)
 		}
-		u := make([]uint64, size)
+		// decodePlanes ORs bits into u, so the reused scratch must start
+		// zeroed.
+		u := s.u
+		clear(u)
 		maxPlanes := 0
 		if rateMode {
 			maxPlanes = opts.maxDecodePlanes

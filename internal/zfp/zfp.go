@@ -143,12 +143,12 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 		return out.Bytes(), nil
 	}
 	var w bitio.Writer
-	blockVals := make([]float64, bl.blockSize)
-	coeffs := make([]int64, bl.blockSize)
+	s := getBlockScratch(bl.blockSize)
 	for b := 0; b < bl.numBlocks; b++ {
-		bl.gather(data, b, blockVals)
-		encodeBlock(&w, blockVals, coeffs, bl, opts)
+		bl.gather(data, b, s.vals)
+		encodeBlock(&w, s, bl, opts)
 	}
+	putBlockScratch(s)
 	out.Write(w.Bytes())
 	return out.Bytes(), nil
 }
@@ -177,13 +177,13 @@ func encodeRateParallel(data []float64, bl *blocker, opts Options) []byte {
 	groups := (bl.numBlocks + group - 1) / group
 	bufs := make([][]byte, groups)
 	parallel.For(groups, opts.Workers, func(lo, hi int) {
-		blockVals := make([]float64, bl.blockSize)
-		coeffs := make([]int64, bl.blockSize)
+		s := getBlockScratch(bl.blockSize)
+		defer putBlockScratch(s)
 		for g := lo; g < hi; g++ {
 			var w bitio.Writer
 			for b := g * group; b < (g+1)*group && b < bl.numBlocks; b++ {
-				bl.gather(data, b, blockVals)
-				encodeBlock(&w, blockVals, coeffs, bl, opts)
+				bl.gather(data, b, s.vals)
+				encodeBlock(&w, s, bl, opts)
 			}
 			bufs[g] = w.Bytes()
 		}
@@ -310,13 +310,13 @@ func decompress(buf []byte, maxPlanes, workers int) ([]float64, []int, Mode, err
 		return out, dims, mode, nil
 	}
 	br := bitio.NewReader(payload)
-	blockVals := make([]float64, bl.blockSize)
-	coeffs := make([]int64, bl.blockSize)
+	s := getBlockScratch(bl.blockSize)
+	defer putBlockScratch(s)
 	for b := 0; b < bl.numBlocks; b++ {
-		if err := decodeBlock(br, blockVals, coeffs, bl, opts); err != nil {
+		if err := decodeBlock(br, s, bl, opts); err != nil {
 			return nil, nil, 0, err
 		}
-		bl.scatter(out, b, blockVals)
+		bl.scatter(out, b, s.vals)
 	}
 	return out, dims, mode, nil
 }
@@ -329,8 +329,8 @@ func decodeRateParallel(payload []byte, out []float64, bl *blocker, opts Options
 	groups := (bl.numBlocks + group - 1) / group
 	groupBytes := group * bb / 8
 	return parallel.ForErr(groups, opts.Workers, func(lo, hi int) error {
-		blockVals := make([]float64, bl.blockSize)
-		coeffs := make([]int64, bl.blockSize)
+		s := getBlockScratch(bl.blockSize)
+		defer putBlockScratch(s)
 		for g := lo; g < hi; g++ {
 			off := g * groupBytes
 			if off > len(payload) {
@@ -338,10 +338,10 @@ func decodeRateParallel(payload []byte, out []float64, bl *blocker, opts Options
 			}
 			br := bitio.NewReader(payload[off:])
 			for b := g * group; b < (g+1)*group && b < bl.numBlocks; b++ {
-				if err := decodeBlock(br, blockVals, coeffs, bl, opts); err != nil {
+				if err := decodeBlock(br, s, bl, opts); err != nil {
 					return err
 				}
-				bl.scatter(out, b, blockVals)
+				bl.scatter(out, b, s.vals)
 			}
 		}
 		return nil

@@ -39,65 +39,17 @@ go test -race ./...
 echo "== analyzer fixtures under race =="
 go test -race ./internal/analysis ./cmd/arcvet
 
-host_meta=$(go run ./cmd/benchmeta)
-
 echo "== stream bench (recorded to BENCH_stream.json) =="
-go test -run '^$' -bench 'BenchmarkStreamPipelined' -benchtime=2s -count=1 . | tee /tmp/arc_bench_stream.txt
-awk -v host="$host_meta" '
-    BEGIN {
-        print "{"
-        printf "  \"host\": %s,\n", host
-        print "  \"note\": \"pipeline>1 overlaps chunk encode/decode across cores; the >=1.5x speedup target applies on hosts with >=4 cores, single-core hosts show parity minus scheduling overhead\","
-        printf "  \"benchmarks\": ["
-    }
-    $1 ~ /^BenchmarkStreamPipelined\// {
-        sub(/-[0-9]+$/, "", $1)
-        printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s}", (n++ ? "," : ""), $1, $2, $3, $5
-    }
-    END { print "\n  ]\n}" }
-' /tmp/arc_bench_stream.txt > BENCH_stream.json
+go test -run '^$' -bench 'BenchmarkStream' -benchtime=2s -benchmem -count=1 . | tee /tmp/arc_bench_stream.txt
+# benchmeta parses the run, emits the artifact, and enforces the
+# steady-state allocation budget (nonzero exit fails verify under set -e).
+go run ./cmd/benchmeta stream < /tmp/arc_bench_stream.txt > BENCH_stream.json
 echo "wrote BENCH_stream.json"
 
 echo "== kernel bench (recorded to BENCH_kernels.json) =="
-go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -count=1 . | tee /tmp/arc_bench_kernels.txt
-awk -v host="$host_meta" '
-    BEGIN {
-        n = 0
-        print "{"
-        printf "  \"host\": %s,\n", host
-        print "  \"note\": \"word/scalar pairs are measured in the same run; speedups below are word MB/s over scalar MB/s\","
-        printf "  \"benchmarks\": ["
-    }
-    $1 ~ /^BenchmarkKernel/ {
-        sub(/-[0-9]+$/, "", $1)
-        mbps[$1] = $5
-        order[n] = $1
-        printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s}", (n++ ? "," : ""), $1, $2, $3, $5
-    }
-    END {
-        print "\n  ],"
-        printf "  \"speedups\": {"
-        ns = 0
-        for (i = 0; i < n; i++) {
-            name = order[i]
-            if (name !~ /\/word$/) continue
-            base = name; sub(/\/word$/, "", base)
-            if (!((base "/scalar") in mbps)) continue
-            key = base; sub(/^BenchmarkKernel/, "", key)
-            printf "%s\n    \"%s\": %.2f", (ns++ ? "," : ""), key, mbps[name] / mbps[base "/scalar"]
-        }
-        print "\n  },"
-        print "  \"targets\": {\"SECDED64Encode_min\": 3.0, \"GF256MulSlice_min\": 2.0}"
-        print "}"
-        secded = mbps["BenchmarkKernelSECDED64Encode/word"] / mbps["BenchmarkKernelSECDED64Encode/scalar"]
-        mul = mbps["BenchmarkKernelGF256MulSlice/word"] / mbps["BenchmarkKernelGF256MulSlice/scalar"]
-        if (secded < 3.0 || mul < 2.0) {
-            printf "kernel bench gate FAILED: SECDED64Encode %.2fx (need 3x), GF256MulSlice %.2fx (need 2x)\n", secded, mul > "/dev/stderr"
-            exit 1
-        }
-        printf "kernel bench gate OK: SECDED64Encode %.2fx, GF256MulSlice %.2fx\n", secded, mul > "/dev/stderr"
-    }
-' /tmp/arc_bench_kernels.txt > BENCH_kernels.json
+go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -benchmem -count=1 . | tee /tmp/arc_bench_kernels.txt
+# benchmeta enforces the word/scalar speedup floors.
+go run ./cmd/benchmeta kernels < /tmp/arc_bench_kernels.txt > BENCH_kernels.json
 echo "wrote BENCH_kernels.json"
 
 echo "== fuzz smoke (10s per target) =="
