@@ -1,21 +1,25 @@
-// Command arcvet runs this repository's static-analysis suite: ten
-// repo-specific analyzers over type-checked packages, built entirely
-// on the standard library (see internal/analysis and
+// Command arcvet runs this repository's static-analysis suite:
+// fourteen repo-specific analyzers over type-checked packages, built
+// entirely on the standard library (see internal/analysis and
 // docs/STATIC_ANALYSIS.md). Packages are analyzed in topological
 // import order, so facts exported about a dependency's functions
-// (may-panic, taint summaries, WaitGroup effects) are visible while
-// analyzing its dependents.
+// (may-panic, taint summaries, lock and channel effects) are visible
+// while analyzing its dependents.
 //
 // Usage:
 //
-//	arcvet [-json] [-only a,b] [-list] [packages...]
+//	arcvet [-format text|json|sarif] [-analyzers a,b] [-list] [packages...]
 //
 // Package patterns are directories relative to the module root, with
 // "./..." (the default) expanding recursively. Findings print as
 // file:line:col: [analyzer] message, sorted by (file, line, col,
-// analyzer) across all packages; -json emits the same ordering as a
-// machine-readable array. Exit status is 0 when clean, 1 when
-// findings are reported, and 2 on usage or load errors.
+// analyzer) across all packages; -format json emits the same ordering
+// as a machine-readable array (-json is a shorthand), and -format
+// sarif emits a SARIF 2.1.0 log suitable for GitHub code scanning
+// upload. -analyzers restricts the run to a comma-separated subset
+// (-only is an older spelling of the same flag). Exit status is 0
+// when clean, 1 when findings are reported, and 2 on usage or load
+// errors.
 //
 // Individual findings are waived inline with
 //
@@ -50,8 +54,10 @@ func say(w io.Writer, format string, args ...any) {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("arcvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "shorthand for -format json")
+	format := fs.String("format", "", "output format: text (default), json, or sarif")
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	subset := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,7 +68,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	analyzers, err := analysis.ByName(*only)
+	switch *format {
+	case "", "text", "json", "sarif":
+	default:
+		say(stderr, "arcvet: unknown format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if *jsonOut {
+		if *format != "" && *format != "json" {
+			say(stderr, "arcvet: -json conflicts with -format %s\n", *format)
+			return 2
+		}
+		*format = "json"
+	}
+	names := *subset
+	if *only != "" {
+		if names != "" && names != *only {
+			say(stderr, "arcvet: -only and -analyzers disagree; pass one\n")
+			return 2
+		}
+		names = *only
+	}
+	analyzers, err := analysis.ByName(names)
 	if err != nil {
 		say(stderr, "arcvet: %v\n", err)
 		return 2
@@ -87,7 +114,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
-	if *jsonOut {
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if res.Diagnostics == nil {
@@ -97,7 +125,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			say(stderr, "arcvet: %v\n", err)
 			return 2
 		}
-	} else {
+	case "sarif":
+		if err := analysis.WriteSARIF(stdout, cwd, res.Diagnostics); err != nil {
+			say(stderr, "arcvet: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range res.Diagnostics {
 			say(stdout, "%s\n", d)
 		}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"testing"
 )
@@ -13,10 +15,15 @@ func TestRunExitCodes(t *testing.T) {
 	}{
 		{"list", []string{"-list"}, 0},
 		{"unknown analyzer", []string{"-only", "nosuch"}, 2},
+		{"unknown analyzers flag value", []string{"-analyzers", "nosuch"}, 2},
 		{"unknown flag", []string{"-bogus"}, 2},
-		// The driver's own directory must be clean, via both renderers.
+		{"unknown format", []string{"-format", "xml"}, 2},
+		{"json conflicts with sarif", []string{"-json", "-format", "sarif"}, 2},
+		{"only and analyzers disagree", []string{"-only", "bitwidth", "-analyzers", "deadwait"}, 2},
+		// The driver's own directory must be clean, via all renderers.
 		{"self text", []string{"-only", "uncheckederr", "."}, 0},
 		{"self json", []string{"-json", "-only", "bitwidth", "."}, 0},
+		{"self sarif", []string{"-format", "sarif", "-analyzers", "lockorder,chansafety,ctxflow", "."}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -24,5 +31,40 @@ func TestRunExitCodes(t *testing.T) {
 				t.Fatalf("run(%v) = %d, want %d", tc.args, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestSARIFOutput checks the emitted document is well-formed SARIF
+// 2.1.0 carrying the driver name code scanning keys uploads under,
+// even for a clean run (the upload step always runs, findings or
+// not), and that results is an array rather than null.
+func TestSARIFOutput(t *testing.T) {
+	var out bytes.Buffer
+	if got := run([]string{"-format", "sarif", "-analyzers", "lockorder", "."}, &out, io.Discard); got != 0 {
+		t.Fatalf("run = %d, want 0", got)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "arcvet" {
+		t.Errorf("runs/driver malformed: %+v", log.Runs)
+	}
+	if log.Runs[0].Results == nil {
+		t.Error("results is null; code scanning requires an empty array")
 	}
 }

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF (Static Analysis Results Interchange Format) rendering for
+// arcvet findings. The emitted document targets SARIF 2.1.0 with the
+// minimal shape GitHub code scanning ingests: one run, one tool
+// driver, one rule per analyzer that produced a finding, and one
+// result per diagnostic with a single physical location. Paths are
+// rendered relative to root (the module root arcvet ran from) so the
+// upload matches the repository layout regardless of the checkout
+// directory.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. Rule metadata
+// comes from the registered analyzer docs; an analyzer that produced
+// no findings is omitted from the rules array to keep uploads small.
+// Diagnostics are assumed pre-sorted (Run's contract), which makes
+// the output deterministic for golden tests.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic) error {
+	docs := make(map[string]string)
+	for _, a := range All() {
+		docs[a.Name] = a.Doc
+	}
+
+	used := make(map[string]bool)
+	for _, d := range diags {
+		used[d.Analyzer] = true
+	}
+	names := make([]string, 0, len(used))
+	for name := range used {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rules := make([]sarifRule, 0, len(names))
+	index := make(map[string]int, len(names))
+	for i, name := range names {
+		index[name] = i
+		doc := docs[name]
+		if doc == "" {
+			doc = name
+		}
+		rules = append(rules, sarifRule{
+			ID:               name,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "warning",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region: sarifRegion{
+						StartLine:   d.Pos.Line,
+						StartColumn: d.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "arcvet",
+				Rules: rules,
+			}},
+			Results: results,
+		}},
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

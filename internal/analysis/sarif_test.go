@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestWriteSARIF renders real findings and checks the invariants the
+// code-scanning upload depends on: repo-relative forward-slash URIs,
+// one rule per distinct analyzer with ruleIndex pointing into the
+// rules array, and 1-based line/column regions matching the
+// diagnostic positions.
+func TestWriteSARIF(t *testing.T) {
+	files := map[string]string{"sp/sp.go": `package sp
+
+var events = make(chan int)
+
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch)
+}
+
+func Drain() int {
+	return <-events
+}
+`}
+	root := writeFixture(t, files)
+	diags := analyze(t, root)
+	if len(diags) < 2 {
+		t.Fatalf("fixture produced %d findings, want >= 2", len(diags))
+	}
+
+	var out bytes.Buffer
+	if err := analysis.WriteSARIF(&out, root, diags); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and 1", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "arcvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("results %d, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		d := diags[i]
+		if r.RuleID != d.Analyzer || r.Message.Text != d.Message {
+			t.Errorf("result %d: rule %q message %q, want %q %q", i, r.RuleID, r.Message.Text, d.Analyzer, d.Message)
+		}
+		if r.Level != "warning" {
+			t.Errorf("result %d: level %q, want warning", i, r.Level)
+		}
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d does not resolve to %q", i, r.RuleIndex, r.RuleID)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result %d: %d locations", i, len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != "sp/sp.go" {
+			t.Errorf("result %d: uri %q, want repo-relative sp/sp.go", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine != d.Pos.Line || loc.Region.StartColumn != d.Pos.Column {
+			t.Errorf("result %d: region %d:%d, want %d:%d",
+				i, loc.Region.StartLine, loc.Region.StartColumn, d.Pos.Line, d.Pos.Column)
+		}
+	}
+	for _, rule := range run.Tool.Driver.Rules {
+		if strings.TrimSpace(rule.ShortDescription.Text) == "" {
+			t.Errorf("rule %q has empty description", rule.ID)
+		}
+	}
+}

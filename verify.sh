@@ -18,6 +18,16 @@ go run ./cmd/arcvet ./...
 echo "== arcvet self-analysis =="
 go run ./cmd/arcvet ./internal/analysis ./cmd/arcvet
 
+echo "== arcvet concurrency contracts =="
+go run ./cmd/arcvet -analyzers lockorder,chansafety,ctxflow ./...
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed; skipping (CI runs it)"
+fi
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -38,6 +48,12 @@ go test -race ./...
 
 echo "== analyzer fixtures under race =="
 go test -race ./internal/analysis ./cmd/arcvet
+
+echo "== race-built arcvet over its own sources =="
+# A race-built binary sweeping the analysis packages keeps the door
+# open to a concurrent driver: any data race an analyzer grows is
+# caught here before the scheduler ever overlaps units.
+go run -race ./cmd/arcvet ./internal/analysis ./cmd/arcvet
 
 echo "== stream bench (recorded to BENCH_stream.json) =="
 go test -run '^$' -bench 'BenchmarkStream' -benchtime=2s -benchmem -count=1 . | tee /tmp/arc_bench_stream.txt
