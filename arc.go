@@ -182,6 +182,14 @@ func Decode(encoded []byte, workers int) (*DecodeResult, error) {
 	return core.DecodeContainer(encoded, workers)
 }
 
+// EncodeContainer encodes a container without an engine, using an
+// explicit configuration choice — the stateless counterpart of Decode,
+// for callers (services, tooling) that pick configurations themselves
+// and never need the trained optimizer.
+func EncodeContainer(data []byte, c Choice) (*EncodeResult, error) {
+	return core.EncodeContainerWith(data, c)
+}
+
 // ContainerOverheadBytes is the fixed per-container header cost.
 const ContainerOverheadBytes = core.ContainerOverheadBytes
 

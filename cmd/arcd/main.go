@@ -1,0 +1,89 @@
+// Command arcd is the ARC archive service: a TCP daemon that encodes,
+// decodes, verifies, and repairs ARC containers for many concurrent
+// clients over the framed protocol of internal/service.
+//
+//	arcd -addr 127.0.0.1:7410 -workers 8
+//
+// The daemon serves until SIGINT/SIGTERM, then drains: in-flight
+// requests finish and their responses flush before the process exits
+// (bounded by -drain). -addrfile writes the bound address to a file
+// once listening, which is how scripts drive an ephemeral-port daemon
+// (see verify.sh's service smoke). See docs/SERVICE.md for the
+// protocol and the operational model.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func run(ctx context.Context, args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("arcd", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7410", "address to listen on (use :0 for an ephemeral port)")
+		workers  = fs.Int("workers", 0, "shared worker budget across all connections (0 = GOMAXPROCS)")
+		window   = fs.Int("window", 0, "in-flight requests per connection (0 = default)")
+		maxFrame = fs.Int("max-frame", 0, "largest accepted request payload in bytes (0 = default)")
+		threads  = fs.Int("threads", 0, "per-request codec parallelism (0 = 1)")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are severed")
+		addrfile = fs.String("addrfile", "", "write the bound address to this file once listening")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := service.New(service.Config{
+		Workers:    *workers,
+		Window:     *window,
+		MaxPayload: *maxFrame,
+		Threads:    *threads,
+	})
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	if *addrfile != "" {
+		// Write-then-rename so a watching script never reads a partial
+		// address.
+		tmp := *addrfile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound.String()+"\n"), 0o644); err != nil {
+			_ = s.Close() // listener is up; tear it down before failing
+			return err
+		}
+		if err := os.Rename(tmp, *addrfile); err != nil {
+			_ = s.Close() // as above
+			return err
+		}
+	}
+	_, _ = fmt.Fprintf(errw, "arcd: listening on %s\n", bound) // progress line; best-effort
+
+	<-ctx.Done()
+	_, _ = fmt.Fprintf(errw, "arcd: draining (budget %s)\n", *drain) // progress line; best-effort
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		return fmt.Errorf("arcd: drain incomplete: %w", err)
+	}
+	snap := s.Stats()
+	_, _ = fmt.Fprintf(errw, "arcd: served %d requests on %d connections, repaired %d, %d uncorrectable\n", // progress line; best-effort
+		snap.Requests, snap.ConnsTotal, snap.RepairedRequests, snap.Uncorrectable)
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "arcd:", err)
+		os.Exit(1)
+	}
+}

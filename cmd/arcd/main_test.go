@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestArcdServesAndDrains boots the daemon exactly as a script would —
+// ephemeral port, addrfile — drives a request through it, then sends
+// the shutdown signal (ctx cancel) and checks the drain completes.
+func TestArcdServesAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	addrfile := filepath.Join(dir, "arcd.addr")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var errw bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-addrfile", addrfile, "-workers", "2"}, &errw)
+	}()
+
+	addr := waitForAddrFile(t, addrfile)
+
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer ccancel()
+	c, err := service.Dial(cctx, addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("daemon round trip")
+	container, err := c.Encode(cctx, 0, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Decode(cctx, container)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip through the daemon failed: %v", err)
+	}
+	_ = c.Close() // done with the client; the daemon shutdown is the test
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("arcd did not drain after the stop signal")
+	}
+	if out := errw.String(); !strings.Contains(out, "listening on") || !strings.Contains(out, "served") {
+		t.Fatalf("unexpected daemon log:\n%s", out)
+	}
+}
+
+func waitForAddrFile(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil {
+			return strings.TrimSpace(string(b))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("addrfile never appeared")
+	return ""
+}
+
+func TestArcdBadFlags(t *testing.T) {
+	var errw bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &errw); err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

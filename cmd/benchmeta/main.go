@@ -7,6 +7,11 @@
 //
 //	go test -bench 'BenchmarkStream' -benchmem . | benchmeta stream  > BENCH_stream.json
 //	go test -bench 'BenchmarkKernel' -benchmem . | benchmeta kernels > BENCH_kernels.json
+//	arcload -addr $ADDR -corrupt 0.5      | benchmeta service > BENCH_service.json
+//
+// The service subcommand reads an arcload workload result instead of
+// benchmark lines and gates on the fault-injection integrity contract
+// plus smoke-scale throughput/latency floors (docs/SERVICE.md).
 //
 // Both subcommands record ns/op, MB/s, B/op, and allocs/op per
 // benchmark under a "host" header, and both gate: `stream` fails (exit
@@ -29,6 +34,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/service"
 )
 
 type hostMeta struct {
@@ -227,6 +234,90 @@ func runKernels(in io.Reader, out, errw io.Writer) error {
 	return err
 }
 
+const (
+	// Smoke-scale service floors: deliberately conservative so they
+	// hold on a loaded single-core CI runner while still catching a
+	// service that has fallen off a cliff (or deadlocked into a
+	// trickle). Real capacity numbers belong to dedicated runs, not
+	// gates.
+	serviceReqPerSMin = 20.0
+	serviceP99MaxMs   = 1500.0
+)
+
+type serviceArtifact struct {
+	Host     hostMeta               `json:"host"`
+	Note     string                 `json:"note"`
+	Workload service.WorkloadResult `json:"workload"`
+	Targets  map[string]float64     `json:"targets"`
+}
+
+// runService reads an arcload WorkloadResult (JSON on stdin), records
+// it as the service artifact, and gates on the integrity contract —
+// every within-budget corruption repaired, every over-budget one
+// reported, nothing silently wrong — plus smoke-scale service floors.
+func runService(in io.Reader, out, errw io.Writer) error {
+	var res service.WorkloadResult
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&res); err != nil {
+		return fmt.Errorf("service gate FAILED: cannot parse arcload output: %w", err)
+	}
+	art := serviceArtifact{
+		Host:     host(),
+		Note:     "arcload smoke run with mid-flight fault injection against a live arcd; integrity gates are exact, throughput/latency floors are conservative smoke-scale bounds (see docs/SERVICE.md)",
+		Workload: res,
+		Targets: map[string]float64{
+			"RequestsPerS_min": serviceReqPerSMin,
+			"P99Ms_max":        serviceP99MaxMs,
+		},
+	}
+	if err := emit(out, art); err != nil {
+		return err
+	}
+
+	var fails []string
+	failf := func(format string, args ...any) {
+		fails = append(fails, fmt.Sprintf(format, args...))
+	}
+	if res.Requests == 0 {
+		failf("no requests completed")
+	}
+	if res.Errors != 0 {
+		failf("%d request errors", res.Errors)
+	}
+	if res.SilentMismatches != 0 {
+		failf("%d SILENT MISMATCHES (decodes returned wrong bytes as OK)", res.SilentMismatches)
+	}
+	if res.InjectedWithin == 0 {
+		failf("no within-budget corruption was injected (run arcload with -corrupt > 0)")
+	}
+	if res.RepairedWithin != res.InjectedWithin || res.UnrepairedWithin != 0 {
+		failf("repaired %d of %d within-budget corruptions (%d unrepaired)",
+			res.RepairedWithin, res.InjectedWithin, res.UnrepairedWithin)
+	}
+	if res.ReportedOver != res.InjectedOver {
+		failf("reported %d of %d over-budget corruptions as uncorrectable",
+			res.ReportedOver, res.InjectedOver)
+	}
+	if res.CorrectedBits != res.InjectedWithinBits {
+		failf("server corrected %d bits, workload injected %d",
+			res.CorrectedBits, res.InjectedWithinBits)
+	}
+	if res.RequestsPerS < serviceReqPerSMin {
+		failf("%.1f req/s under the %.0f req/s smoke floor", res.RequestsPerS, serviceReqPerSMin)
+	}
+	if res.Latency.P99Ms > serviceP99MaxMs {
+		failf("p99 %.1fms over the %.0fms smoke ceiling", res.Latency.P99Ms, serviceP99MaxMs)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("service gate FAILED: %s", strings.Join(fails, "; "))
+	}
+	_, err := fmt.Fprintf(errw,
+		"service gate OK: %d requests at %.0f req/s (p99 %.1fms), %d/%d within-budget repaired, %d/%d over-budget reported, 0 silent mismatches\n",
+		res.Requests, res.RequestsPerS, res.Latency.P99Ms,
+		res.RepairedWithin, res.InjectedWithin, res.ReportedOver, res.InjectedOver)
+	return err
+}
+
 func round2(v float64) float64 {
 	return float64(int64(v*100+0.5)) / 100
 }
@@ -255,8 +346,10 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		return runStream(in, out, errw)
 	case "kernels":
 		return runKernels(in, out, errw)
+	case "service":
+		return runService(in, out, errw)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want stream or kernels, or no argument for host metadata)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want stream, kernels, or service, or no argument for host metadata)", args[0])
 	}
 }
 

@@ -117,6 +117,14 @@ func (e *Engine) Encode(data []byte, mem, bw float64, res Resiliency) (*EncodeRe
 // EncodeWith protects data with an explicit optimizer choice, for
 // callers that want to inspect or override the selection.
 func (e *Engine) EncodeWith(data []byte, choice Choice) (*EncodeResult, error) {
+	return EncodeContainerWith(data, choice)
+}
+
+// EncodeContainerWith encodes without an engine: an explicit choice
+// needs no trained state, just as DecodeContainer needs none — the
+// pair makes a stateless encode/decode round trip possible for callers
+// (like the archive service) that manage configurations themselves.
+func EncodeContainerWith(data []byte, choice Choice) (*EncodeResult, error) {
 	devSize := choice.Config.DeviceSizeFor(len(data))
 	code, err := choice.Config.BuildWithDeviceSize(choice.Threads, devSize)
 	if err != nil {

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestChaosFaultInjectionUnderLoad is the headline guarantee of the
+// service under fire: with many clients hammering a live arcd and a
+// large fraction of containers corrupted mid-flight, every
+// within-budget corruption is repaired to the exact original bytes,
+// every over-budget corruption is loudly refused, and nothing — not
+// one request — is silently wrong. Then the server drains without
+// leaking a goroutine.
+func TestChaosFaultInjectionUnderLoad(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := New(Config{Workers: 4, Window: 8})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients, requests := 6, 60
+	if testing.Short() {
+		clients, requests = 3, 20
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	res, err := RunWorkload(ctx, WorkloadOptions{
+		Addr:           addr.String(),
+		Clients:        clients,
+		Requests:       requests,
+		EncodeRatio:    0.4,
+		MinSize:        64,
+		MaxSize:        32 << 10,
+		CorruptRate:    0.6,
+		OverBudgetRate: 0.3,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Requests != clients*requests {
+		t.Errorf("completed %d requests, want %d", res.Requests, clients*requests)
+	}
+	if res.Errors != 0 {
+		t.Errorf("workload counted %d errors, want 0", res.Errors)
+	}
+
+	// The integrity contract. Each clause is the paper's promise under
+	// adversarial load: repair what the budget covers, refuse what it
+	// does not, never lie.
+	if res.InjectedWithin == 0 || res.InjectedOver == 0 {
+		t.Fatalf("chaos campaign under-injected: within=%d over=%d (seed/rate drift?)",
+			res.InjectedWithin, res.InjectedOver)
+	}
+	if res.SilentMismatches != 0 {
+		t.Errorf("SILENT MISMATCHES: %d decodes returned wrong bytes as OK", res.SilentMismatches)
+	}
+	if res.RepairedWithin != res.InjectedWithin || res.UnrepairedWithin != 0 {
+		t.Errorf("repaired %d of %d within-budget corruptions (%d unrepaired)",
+			res.RepairedWithin, res.InjectedWithin, res.UnrepairedWithin)
+	}
+	if res.ReportedOver != res.InjectedOver {
+		t.Errorf("reported %d of %d over-budget corruptions as uncorrectable",
+			res.ReportedOver, res.InjectedOver)
+	}
+	// Bit-for-bit accounting: the server's repair reports must add up
+	// to exactly the damage injected.
+	if res.CorrectedBits != res.InjectedWithinBits {
+		t.Errorf("server reported %d corrected bits, injected %d",
+			res.CorrectedBits, res.InjectedWithinBits)
+	}
+
+	// The embedded server snapshot corroborates the client-side tally.
+	if len(res.ServerStats) == 0 {
+		t.Fatal("workload result missing server stats")
+	}
+	var snap metrics.LiveSnapshot
+	if err := json.Unmarshal(res.ServerStats, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Uncorrectable != int64(res.InjectedOver) {
+		t.Errorf("server counted %d uncorrectable decodes, workload injected %d over-budget",
+			snap.Uncorrectable, res.InjectedOver)
+	}
+	if snap.CorrectedBits < int64(res.InjectedWithinBits) {
+		t.Errorf("server corrected %d bits, workload injected %d",
+			snap.CorrectedBits, res.InjectedWithinBits)
+	}
+	if snap.Requests < int64(res.Requests) {
+		t.Errorf("server saw %d requests, workload sent %d", snap.Requests, res.Requests)
+	}
+	if res.Latency.Count == 0 || res.Latency.P99Ms <= 0 {
+		t.Errorf("latency histogram empty: %+v", res.Latency)
+	}
+
+	// Drain and leak-check: chaos must not leave wreckage behind.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown after chaos: %v", err)
+	}
+	checkNoLeaks(t, base)
+}
+
+// TestWorkloadRejectsUninjectableConfig: fault injection depends on
+// the SEC-DED layout; asking for it with another code must fail fast
+// instead of producing meaningless accounting.
+func TestWorkloadRejectsUninjectableConfig(t *testing.T) {
+	_, err := RunWorkload(context.Background(), WorkloadOptions{
+		Addr:        "127.0.0.1:1",
+		CorruptRate: 0.5,
+		Method:      2, // hamming
+		Param:       32,
+	})
+	if err == nil {
+		t.Fatal("workload accepted fault injection on a non-secded64 config")
+	}
+}
+
+// TestWorkloadCleanRun: no corruption, every op mixed in, zero errors.
+func TestWorkloadCleanRun(t *testing.T) {
+	s := New(Config{})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }() // drained below via workload completion
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := RunWorkload(ctx, WorkloadOptions{
+		Addr:     addr.String(),
+		Clients:  2,
+		Requests: 20,
+		MaxSize:  4 << 10,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.SilentMismatches != 0 {
+		t.Fatalf("clean run: %d errors, %d mismatches", res.Errors, res.SilentMismatches)
+	}
+	if res.Requests != 40 || res.Encodes == 0 || res.Decodes == 0 {
+		t.Fatalf("mix did not exercise the ops: %+v", res)
+	}
+	if res.InjectedWithin != 0 || res.InjectedOver != 0 {
+		t.Fatalf("clean run injected corruption: %+v", res)
+	}
+	if res.RequestsPerS <= 0 || res.ElapsedMs <= 0 {
+		t.Fatalf("throughput accounting: %+v", res)
+	}
+}

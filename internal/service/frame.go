@@ -1,0 +1,315 @@
+// Package service implements arcd, the ARC archive service: a
+// concurrent TCP daemon that encodes, decodes, verifies, and repairs
+// ARC containers for many clients over a small length-prefixed framed
+// protocol, plus the client and workload-generation sides used by
+// cmd/arcload and the fault-injection-under-load test suite.
+//
+// See docs/SERVICE.md for the frame format, the backpressure and
+// worker-budget model, and the shutdown semantics.
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/ecc"
+)
+
+// Frame layout (all integers big-endian):
+//
+//	offset size field
+//	0      2    magic 0x41 0xF7
+//	2      1    version (1)
+//	3      1    op
+//	4      1    status (0 in requests)
+//	5      3    reserved, must be zero
+//	8      4    payload length
+//	12     n    payload
+//
+// The frame header carries no checksum on purpose: TCP already
+// guards the wire, and the payloads that matter — ARC containers —
+// carry their own voted, CRC-guarded headers and ECC. The framing's
+// job is delimitation and dispatch, not integrity.
+const (
+	frameMagic0 = 0x41
+	frameMagic1 = 0xF7
+	frameVer    = 1
+
+	// FrameHeaderLen is the fixed frame header size in bytes.
+	FrameHeaderLen = 12
+
+	// DefaultMaxPayload bounds a frame payload unless the server or
+	// client is configured otherwise.
+	DefaultMaxPayload = 32 << 20
+)
+
+// Op identifies a request (and its response: responses echo the op).
+type Op uint8
+
+// The five operations of the protocol.
+const (
+	OpEncode Op = 1 + iota
+	OpDecode
+	OpVerify
+	OpRepair
+	OpStats
+	opMax = OpStats
+)
+
+var opNames = [...]string{"invalid", "encode", "decode", "verify", "repair", "stats"}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// OpNames lists the operation names in op order, for metrics labels
+// (index 0 is the out-of-range slot).
+func OpNames() []string { return append([]string(nil), opNames[1:]...) }
+
+// Status classifies a response. Requests always carry StatusRequest.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusRequest Status = iota // a request frame
+	StatusOK
+	// StatusUncorrectable: damage was detected beyond the ECC budget.
+	// The payload is a human-readable report — never partial data, so
+	// over-budget corruption is loud, not silent.
+	StatusUncorrectable
+	// StatusBadRequest: the payload was not a parseable container or
+	// carried an invalid configuration.
+	StatusBadRequest
+	// StatusOversized: the request payload exceeded the server's
+	// frame budget. The connection closes after this response.
+	StatusOversized
+	// StatusInternal: the server failed for reasons not attributable
+	// to the request.
+	StatusInternal
+	statusMax = StatusInternal
+)
+
+var statusNames = [...]string{"request", "ok", "uncorrectable", "bad-request", "oversized", "internal"}
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Frame is one protocol frame.
+type Frame struct {
+	Op      Op
+	Status  Status
+	Payload []byte
+}
+
+// Framing errors. ReadFrame wraps each in enough context to log;
+// test with errors.Is.
+var (
+	ErrBadFrame      = errors.New("service: malformed frame")
+	ErrFrameTooLarge = errors.New("service: frame payload exceeds limit")
+)
+
+// AppendFrame appends f's wire encoding to dst and returns the
+// extended slice. It never fails: lengths above MaxUint32 cannot be
+// constructed through the exported API (ReadFrame would refuse them
+// anyway).
+func AppendFrame(dst []byte, f Frame) []byte {
+	var h [FrameHeaderLen]byte
+	h[0], h[1], h[2] = frameMagic0, frameMagic1, frameVer
+	h[3] = byte(f.Op)
+	h[4] = byte(f.Status)
+	binary.BigEndian.PutUint32(h[8:], uint32(len(f.Payload)))
+	dst = append(dst, h[:]...)
+	return append(dst, f.Payload...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	var h [FrameHeaderLen]byte
+	h[0], h[1], h[2] = frameMagic0, frameMagic1, frameVer
+	h[3] = byte(f.Op)
+	h[4] = byte(f.Status)
+	binary.BigEndian.PutUint32(h[8:], uint32(len(f.Payload)))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// directPayloadCap is the largest payload ReadFrame allocates up
+// front. Larger payloads grow geometrically as bytes actually arrive,
+// so a forged length prefix costs an attacker bandwidth, not server
+// memory — the wire-side extension of the decoder-hardening contract
+// (docs/DECODER_HARDENING.md).
+const directPayloadCap = 64 << 10
+
+// ReadFrame reads one frame from r. limit bounds the accepted payload
+// length (<= 0 selects DefaultMaxPayload); longer frames fail with
+// ErrFrameTooLarge before any payload allocation. scratch, when
+// non-nil, is reused as the payload buffer if it has capacity — the
+// returned Frame aliases it. A truncated header or payload fails with
+// io.EOF or io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, limit int, scratch []byte) (Frame, error) {
+	if limit <= 0 {
+		limit = DefaultMaxPayload
+	}
+	var h [FrameHeaderLen]byte
+	// ReadFull keeps a clean EOF between frames as io.EOF and turns a
+	// partial header into io.ErrUnexpectedEOF.
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return Frame{}, err
+	}
+	if h[0] != frameMagic0 || h[1] != frameMagic1 {
+		return Frame{}, fmt.Errorf("%w: bad magic %#02x%02x", ErrBadFrame, h[0], h[1])
+	}
+	if h[2] != frameVer {
+		return Frame{}, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, h[2])
+	}
+	op, status := Op(h[3]), Status(h[4])
+	if op < OpEncode || op > opMax {
+		return Frame{}, fmt.Errorf("%w: unknown op %d", ErrBadFrame, h[3])
+	}
+	if status > statusMax {
+		return Frame{}, fmt.Errorf("%w: unknown status %d", ErrBadFrame, h[4])
+	}
+	if h[5] != 0 || h[6] != 0 || h[7] != 0 {
+		return Frame{}, fmt.Errorf("%w: nonzero reserved bytes", ErrBadFrame)
+	}
+	n64 := binary.BigEndian.Uint32(h[8:])
+	if int64(n64) > int64(limit) {
+		// The op and status still come back with the error so a server
+		// can address its refusal to the right request.
+		return Frame{Op: op, Status: status}, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, n64, limit)
+	}
+	n := int(n64)
+	f := Frame{Op: op, Status: status}
+	if n == 0 {
+		return f, nil
+	}
+	buf, err := readPayload(r, scratch, n)
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Payload = buf
+	return f, nil
+}
+
+// readPayload reads exactly n bytes, reusing dst's storage when it
+// suffices and otherwise growing geometrically from directPayloadCap
+// as data arrives (see directPayloadCap).
+func readPayload(r io.Reader, dst []byte, n int) ([]byte, error) {
+	if n <= directPayloadCap || cap(dst) >= n {
+		buf := growTo(dst, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fullErr(err)
+		}
+		return buf, nil
+	}
+	buf := growTo(dst, directPayloadCap)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fullErr(err)
+	}
+	for len(buf) < n {
+		grown := make([]byte, min(len(buf)*2, n))
+		copy(grown, buf)
+		if _, err := io.ReadFull(r, grown[len(buf):]); err != nil {
+			return nil, fullErr(err)
+		}
+		buf = grown
+	}
+	return buf, nil
+}
+
+// fullErr normalizes a short payload read to io.ErrUnexpectedEOF: a
+// clean EOF mid-payload is still a truncated frame.
+func fullErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// growTo returns a length-n slice sharing dst's storage when possible.
+func growTo(dst []byte, n int) []byte {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]byte, n)
+}
+
+// Encode requests prefix the data with the requested configuration:
+//
+//	offset size field
+//	0      1    ecc method (0 = server default)
+//	1      2    method parameter
+//	3      n    data to protect
+const encodeReqHeaderLen = 3
+
+// AppendEncodeRequest appends an OpEncode request payload: the
+// method/param prefix followed by data. Method 0 asks the server to
+// use its configured default.
+func AppendEncodeRequest(dst []byte, method ecc.Method, param int, data []byte) []byte {
+	var h [encodeReqHeaderLen]byte
+	h[0] = byte(method)
+	binary.BigEndian.PutUint16(h[1:], uint16(param))
+	dst = append(dst, h[:]...)
+	return append(dst, data...)
+}
+
+// ParseEncodeRequest splits an OpEncode payload. The returned data
+// aliases payload.
+func ParseEncodeRequest(payload []byte) (method ecc.Method, param int, data []byte, err error) {
+	if len(payload) < encodeReqHeaderLen {
+		return 0, 0, nil, fmt.Errorf("%w: encode request shorter than its header", ErrBadFrame)
+	}
+	return ecc.Method(payload[0]), int(binary.BigEndian.Uint16(payload[1:])), payload[encodeReqHeaderLen:], nil
+}
+
+// Report is the repair accounting a DECODE, VERIFY, or REPAIR
+// response carries ahead of its data: how much damage the container
+// showed and how much was corrected.
+type Report struct {
+	DetectedBlocks  int
+	CorrectedBits   int
+	CorrectedBlocks int
+}
+
+// reportLen is the wire size of a Report.
+const reportLen = 12
+
+// AppendReport appends r's wire encoding.
+func AppendReport(dst []byte, r Report) []byte {
+	var b [reportLen]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(r.DetectedBlocks))
+	binary.BigEndian.PutUint32(b[4:], uint32(r.CorrectedBits))
+	binary.BigEndian.PutUint32(b[8:], uint32(r.CorrectedBlocks))
+	return append(dst, b[:]...)
+}
+
+// ParseReport splits a response payload into its leading Report and
+// the remaining data (which aliases payload).
+func ParseReport(payload []byte) (Report, []byte, error) {
+	if len(payload) < reportLen {
+		return Report{}, nil, fmt.Errorf("%w: response shorter than its report", ErrBadFrame)
+	}
+	r := Report{
+		DetectedBlocks:  int(binary.BigEndian.Uint32(payload[0:])),
+		CorrectedBits:   int(binary.BigEndian.Uint32(payload[4:])),
+		CorrectedBlocks: int(binary.BigEndian.Uint32(payload[8:])),
+	}
+	return r, payload[reportLen:], nil
+}

@@ -1,0 +1,513 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+	"repro/internal/faultinject"
+	"repro/internal/metrics"
+)
+
+// WorkloadOptions parameterizes an arcload run against an arcd
+// server: how many clients, how many requests each, the operation
+// mix, the payload-size distribution, and the mid-flight corruption
+// campaign. The zero value plus an Addr is a usable smoke workload.
+type WorkloadOptions struct {
+	// Addr is the arcd address to hammer.
+	Addr string
+	// Clients is the number of concurrent connections (<= 0 means 4).
+	Clients int
+	// Requests is the number of requests per client (<= 0 means 50).
+	// An encode and the decode of its container count separately.
+	Requests int
+	// EncodeRatio is the target fraction of requests that are encodes
+	// (<= 0 means 0.5; clamped to [0.1, 1] so decodes always have
+	// containers to chew on).
+	EncodeRatio float64
+	// MinSize/MaxSize bound the plaintext payload sizes in bytes
+	// (defaults 64 and 256<<10). Sizes are Zipf-skewed toward
+	// MinSize, the hot-small/cold-large shape of real archives.
+	MinSize, MaxSize int
+	// ZipfS is the Zipf skew parameter (> 1; default 1.4; larger
+	// means smaller payloads dominate harder).
+	ZipfS float64
+	// CorruptRate is the fraction of decode-side requests whose
+	// container is corrupted mid-flight before being sent (default 0;
+	// the chaos suite runs 0.5).
+	CorruptRate float64
+	// OverBudgetRate is the fraction of those corruptions pushed
+	// beyond the ECC budget (two bit flips inside one SEC-DED
+	// codeword), which the server must report as uncorrectable.
+	OverBudgetRate float64
+	// MaxFlips bounds the within-budget bit flips per corrupted
+	// container; each lands in a distinct codeword (default 3).
+	MaxFlips int
+	// Method/Param is the ECC configuration requested on encodes.
+	// The fault-injection accounting assumes SEC-DED over 64-bit
+	// blocks (the default), whose data-verbatim layout makes
+	// within/over-budget corruption constructible by position; other
+	// configurations may only run with CorruptRate 0.
+	Method ecc.Method
+	Param  int
+	// Seed makes runs reproducible (0 means 1).
+	Seed int64
+	// MaxPayload bounds frames on the client side (<= 0 means
+	// DefaultMaxPayload).
+	MaxPayload int
+}
+
+func (o WorkloadOptions) withDefaults() (WorkloadOptions, error) {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 50
+	}
+	if o.EncodeRatio <= 0 {
+		o.EncodeRatio = 0.5
+	}
+	if o.EncodeRatio < 0.1 {
+		o.EncodeRatio = 0.1
+	}
+	if o.EncodeRatio > 1 {
+		o.EncodeRatio = 1
+	}
+	if o.MinSize <= 0 {
+		o.MinSize = 64
+	}
+	if o.MaxSize <= 0 {
+		o.MaxSize = 256 << 10
+	}
+	if o.MaxSize < o.MinSize {
+		o.MaxSize = o.MinSize
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.4
+	}
+	if o.MaxFlips <= 0 {
+		o.MaxFlips = 3
+	}
+	if o.Method == 0 {
+		o.Method, o.Param = ecc.MethodSECDED, 64
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CorruptRate > 0 && (o.Method != ecc.MethodSECDED || o.Param != 64) {
+		return o, errors.New("service: fault injection requires the secded64 configuration (its layout makes error budgets constructible)")
+	}
+	return o, nil
+}
+
+// WorkloadResult is an arcload run's summary: the op and corruption
+// accounting, the integrity verdicts, and the client-side service
+// levels. It is the JSON contract consumed by `benchmeta service`.
+type WorkloadResult struct {
+	Clients  int `json:"clients"`
+	Requests int `json:"requests"`
+	Encodes  int `json:"encodes"`
+	Decodes  int `json:"decodes"`
+	Verifies int `json:"verifies"`
+	Repairs  int `json:"repairs"`
+	// Errors counts unexpected failures: transport errors, protocol
+	// violations, and any response that contradicts the ground truth.
+	// A healthy run reports 0.
+	Errors int `json:"errors"`
+
+	// InjectedWithin / InjectedOver count corrupted containers sent,
+	// by whether the damage fit the ECC budget. InjectedWithinBits is
+	// the total bit flips across within-budget containers.
+	InjectedWithin     int `json:"injected_within_budget"`
+	InjectedWithinBits int `json:"injected_within_budget_bits"`
+	InjectedOver       int `json:"injected_over_budget"`
+	// RepairedWithin counts within-budget containers that decoded to
+	// exactly the original bytes; CorrectedBits sums the server's
+	// reported corrections on them. A healthy run has RepairedWithin
+	// == InjectedWithin and CorrectedBits == InjectedWithinBits.
+	RepairedWithin int `json:"repaired_within_budget"`
+	CorrectedBits  int `json:"corrected_bits"`
+	// ReportedOver counts over-budget containers the server refused
+	// as uncorrectable — the only acceptable outcome for them.
+	ReportedOver int `json:"reported_over_budget"`
+	// SilentMismatches counts decodes that returned OK with bytes
+	// differing from the original — the catastrophic outcome the ECC
+	// stack exists to prevent. Any value but 0 is a bug.
+	SilentMismatches int `json:"silent_mismatches"`
+	// UnrepairedWithin counts within-budget corruptions the server
+	// failed to repair. Any value but 0 is a bug.
+	UnrepairedWithin int `json:"unrepaired_within_budget"`
+
+	BytesSent     int64   `json:"bytes_sent"`
+	BytesReceived int64   `json:"bytes_received"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	RequestsPerS  float64 `json:"requests_per_s"`
+	// ThroughputMBs is payload traffic (both directions) over the
+	// wall clock.
+	ThroughputMBs float64 `json:"throughput_mb_s"`
+
+	Latency metrics.HistogramSnapshot `json:"latency"`
+
+	// ServerStats embeds the server's own STATS snapshot from the end
+	// of the run, when fetching it succeeded.
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// clientTally accumulates one worker's counts, merged under the
+// runner's lock after the worker exits.
+type clientTally struct {
+	result WorkloadResult
+	err    error
+}
+
+// cachedItem pairs a container with the plaintext it protects — the
+// ground truth a decode is byte-compared against.
+type cachedItem struct {
+	original  []byte
+	container []byte
+}
+
+// RunWorkload drives one arcload campaign and blocks until every
+// client finishes or ctx is cancelled (clients notice cancellation on
+// their next request boundary; a non-nil ctx error is returned after
+// the merge). Transport-level failures surface in the error; result
+// integrity verdicts live in the WorkloadResult.
+func RunWorkload(ctx context.Context, opts WorkloadOptions) (*WorkloadResult, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu      sync.Mutex
+		merged  WorkloadResult
+		firstEs error
+	)
+	lat := &metrics.Histogram{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < opts.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			t := runClient(ctx, opts, cl, lat)
+			mu.Lock()
+			defer mu.Unlock()
+			mergeResults(&merged, &t.result)
+			if t.err != nil && firstEs == nil {
+				firstEs = t.err
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged.Clients = opts.Clients
+	merged.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		merged.RequestsPerS = float64(merged.Requests) / elapsed.Seconds()
+		merged.ThroughputMBs = float64(merged.BytesSent+merged.BytesReceived) / (1 << 20) / elapsed.Seconds()
+	}
+	merged.Latency = lat.Snapshot()
+
+	if firstEs == nil {
+		firstEs = fetchServerStats(ctx, opts, &merged)
+	}
+	if firstEs == nil {
+		firstEs = ctx.Err()
+	}
+	return &merged, firstEs
+}
+
+// fetchServerStats grabs the server's STATS snapshot for the result.
+func fetchServerStats(ctx context.Context, opts WorkloadOptions, res *WorkloadResult) error {
+	c, err := Dial(ctx, opts.Addr, opts.MaxPayload)
+	if err != nil {
+		return fmt.Errorf("service: stats fetch: %w", err)
+	}
+	defer func() { _ = c.Close() }() // read side already done
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("service: stats fetch: %w", err)
+	}
+	res.ServerStats = raw
+	return nil
+}
+
+func mergeResults(dst, src *WorkloadResult) {
+	dst.Requests += src.Requests
+	dst.Encodes += src.Encodes
+	dst.Decodes += src.Decodes
+	dst.Verifies += src.Verifies
+	dst.Repairs += src.Repairs
+	dst.Errors += src.Errors
+	dst.InjectedWithin += src.InjectedWithin
+	dst.InjectedWithinBits += src.InjectedWithinBits
+	dst.InjectedOver += src.InjectedOver
+	dst.RepairedWithin += src.RepairedWithin
+	dst.CorrectedBits += src.CorrectedBits
+	dst.ReportedOver += src.ReportedOver
+	dst.SilentMismatches += src.SilentMismatches
+	dst.UnrepairedWithin += src.UnrepairedWithin
+	dst.BytesSent += src.BytesSent
+	dst.BytesReceived += src.BytesReceived
+}
+
+// runClient is one worker: a dedicated connection issuing Requests
+// requests with the configured mix.
+func runClient(ctx context.Context, opts WorkloadOptions, id int, lat *metrics.Histogram) clientTally {
+	var t clientTally
+	rng := rand.New(rand.NewSource(opts.Seed + int64(id)*7919))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.MaxSize-opts.MinSize))
+
+	c, err := Dial(ctx, opts.Addr, opts.MaxPayload)
+	if err != nil {
+		t.err = fmt.Errorf("service: client %d dial: %w", id, err)
+		return t
+	}
+	defer func() { _ = c.Close() }() // the tally already has any real error
+
+	// cache holds recent encodes for the decode side of the mix.
+	var cache []cachedItem
+	for i := 0; i < opts.Requests; i++ {
+		if ctx.Err() != nil {
+			return t
+		}
+		if len(cache) == 0 || rng.Float64() < opts.EncodeRatio {
+			item, err := clientEncode(ctx, c, opts, rng, zipf, lat, &t)
+			if err != nil {
+				t.err = fmt.Errorf("service: client %d: %w", id, err)
+				return t
+			}
+			if len(cache) < 32 {
+				cache = append(cache, item)
+			} else {
+				cache[rng.Intn(len(cache))] = item
+			}
+			continue
+		}
+		item := cache[rng.Intn(len(cache))]
+		if err := clientDecodeSide(ctx, c, opts, rng, item, lat, &t); err != nil {
+			t.err = fmt.Errorf("service: client %d: %w", id, err)
+			return t
+		}
+	}
+	return t
+}
+
+// clientEncode issues one ENCODE and caches the round trip's ground
+// truth after sanity-decoding the container locally is skipped — the
+// decode side of the mix does that through the server.
+func clientEncode(ctx context.Context, c *Client, opts WorkloadOptions, rng *rand.Rand, zipf *rand.Zipf, lat *metrics.Histogram, t *clientTally) (cachedItem, error) {
+	size := opts.MinSize + int(zipf.Uint64())
+	data := make([]byte, size)
+	rng.Read(data)
+
+	start := time.Now()
+	container, err := c.Encode(ctx, opts.Method, opts.Param, data)
+	lat.Observe(time.Since(start))
+	t.result.Requests++
+	t.result.Encodes++
+	t.result.BytesSent += int64(size)
+	if err != nil {
+		t.result.Errors++
+		return cachedItem{}, fmt.Errorf("encode (%d bytes): %w", size, err)
+	}
+	t.result.BytesReceived += int64(len(container))
+	return cachedItem{original: data, container: container}, nil
+}
+
+// clientDecodeSide issues one decode-shaped request (DECODE, VERIFY,
+// or REPAIR), optionally corrupting the container first, and verdicts
+// the response against the ground truth.
+func clientDecodeSide(ctx context.Context, c *Client, opts WorkloadOptions, rng *rand.Rand, item cachedItem, lat *metrics.Histogram, t *clientTally) error {
+	container := item.container
+	kind := corruptNone
+	flips := 0
+	if opts.CorruptRate > 0 && rng.Float64() < opts.CorruptRate {
+		mut := append([]byte(nil), container...)
+		if rng.Float64() < opts.OverBudgetRate {
+			if corruptOverBudget(mut, len(item.original), rng) {
+				kind = corruptOver
+			}
+		} else {
+			flips = corruptWithinBudget(mut, len(item.original), rng, opts.MaxFlips)
+			if flips > 0 {
+				kind = corruptWithin
+				t.result.InjectedWithin++
+				t.result.InjectedWithinBits += flips
+			}
+		}
+		container = mut
+	}
+
+	// Rotate through the three decode-shaped ops; REPAIR and VERIFY
+	// each take a slice of the traffic so every server path sees load.
+	op := OpDecode
+	switch r := rng.Float64(); {
+	case r < 0.15:
+		op = OpVerify
+	case r < 0.3:
+		op = OpRepair
+	}
+	if kind == corruptOver {
+		// VERIFY has no data to compare; the uncorrectable verdict is
+		// still exercised. REPAIR and DECODE behave identically here.
+		op = OpDecode
+	}
+
+	start := time.Now()
+	var (
+		data []byte
+		rep  Report
+		err  error
+	)
+	switch op {
+	case OpVerify:
+		rep, err = c.Verify(ctx, container)
+		t.result.Verifies++
+	case OpRepair:
+		var fresh []byte
+		fresh, rep, err = c.Repair(ctx, container)
+		t.result.Repairs++
+		if err == nil {
+			// A repaired container must decode (locally — the ground
+			// truth check must not trust the server twice) to the
+			// original bytes.
+			res, derr := core.DecodeContainer(fresh, 1)
+			if derr != nil || !bytes.Equal(res.Data, item.original) {
+				t.result.SilentMismatches++
+			}
+			data = item.original // comparison already done
+		}
+	default:
+		data, rep, err = c.Decode(ctx, container)
+		t.result.Decodes++
+	}
+	lat.Observe(time.Since(start))
+	t.result.Requests++
+	t.result.BytesSent += int64(len(container))
+	t.result.BytesReceived += int64(len(data))
+
+	switch kind {
+	case corruptNone, corruptWithin:
+		if err != nil {
+			t.result.Errors++
+			if kind == corruptWithin {
+				t.result.UnrepairedWithin++
+			}
+			if transportError(err) {
+				return fmt.Errorf("%s: %w", op, err)
+			}
+			return nil
+		}
+		if op != OpVerify && op != OpRepair && !bytes.Equal(data, item.original) {
+			t.result.SilentMismatches++
+			t.result.Errors++
+			return nil
+		}
+		if kind == corruptWithin {
+			t.result.RepairedWithin++
+			t.result.CorrectedBits += rep.CorrectedBits
+		}
+	case corruptOver:
+		t.result.InjectedOver++
+		switch {
+		case err == nil:
+			// The server claims success on damage beyond the budget:
+			// either it miscorrected (bytes differ — silent wrongness)
+			// or the "over-budget" construction failed. Both are
+			// integrity bugs worth failing the run over.
+			t.result.Errors++
+			if !bytes.Equal(data, item.original) {
+				t.result.SilentMismatches++
+			}
+		case IsUncorrectable(err):
+			t.result.ReportedOver++
+		default:
+			t.result.Errors++
+			if transportError(err) {
+				return fmt.Errorf("%s: %w", op, err)
+			}
+		}
+	}
+	return nil
+}
+
+// transportError distinguishes connection-level failures (fatal for
+// the client loop) from per-request server verdicts.
+func transportError(err error) bool {
+	var re *RemoteErr
+	return !errors.As(err, &re)
+}
+
+type corruptKind int
+
+const (
+	corruptNone corruptKind = iota
+	corruptWithin
+	corruptOver
+)
+
+// secded64 layout facts the injectors rely on (see
+// internal/ecc/hamming: "the data verbatim, followed by the per-block
+// check bits"): byte i of the original data lives at container offset
+// ContainerOverheadBytes+i, and bits of data block b are the 64 bits
+// at offsets [8b, 8b+8) of that region. Flips in distinct blocks are
+// independently correctable; two flips in one block are detectable
+// but beyond the correction budget.
+
+// corruptWithinBudget flips up to maxFlips bits, each in a distinct
+// SEC-DED data block, and returns how many bits it flipped (0 when
+// the payload is too small to corrupt safely).
+func corruptWithinBudget(container []byte, origLen int, rng *rand.Rand, maxFlips int) int {
+	if origLen == 0 {
+		return 0
+	}
+	blocks := (origLen + 7) / 8
+	n := 1 + rng.Intn(maxFlips)
+	if n > blocks {
+		n = blocks
+	}
+	flipped := 0
+	for _, b := range rng.Perm(blocks)[:n] {
+		lo := b * 8
+		hi := min(lo+8, origLen)
+		bit := lo*8 + rng.Intn((hi-lo)*8)
+		faultinject.FlipBitInPlace(container[core.ContainerOverheadBytes:], bit)
+		flipped++
+	}
+	return flipped
+}
+
+// corruptOverBudget flips two distinct bits inside one SEC-DED data
+// block — a double error the code must detect but cannot correct.
+// Returns false when the payload has no full byte to corrupt.
+func corruptOverBudget(container []byte, origLen int, rng *rand.Rand) bool {
+	if origLen < 1 {
+		return false
+	}
+	blocks := (origLen + 7) / 8
+	b := rng.Intn(blocks)
+	lo := b * 8
+	hi := min(lo+8, origLen)
+	width := (hi - lo) * 8
+	if width < 2 {
+		return false
+	}
+	first := rng.Intn(width)
+	second := rng.Intn(width - 1)
+	if second >= first {
+		second++
+	}
+	payload := container[core.ContainerOverheadBytes:]
+	faultinject.FlipBitInPlace(payload, lo*8+first)
+	faultinject.FlipBitInPlace(payload, lo*8+second)
+	return true
+}

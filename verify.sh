@@ -55,6 +55,9 @@ echo "== race-built arcvet over its own sources =="
 # caught here before the scheduler ever overlaps units.
 go run -race ./cmd/arcvet ./internal/analysis ./cmd/arcvet
 
+echo "== service shutdown/disconnect leak regressions (race, 5 runs) =="
+go test -race -run 'TestArcdShutdownDrains|TestArcdClientDisconnectMidStream' -count=5 ./internal/service
+
 echo "== stream bench (recorded to BENCH_stream.json) =="
 go test -run '^$' -bench 'BenchmarkStream' -benchtime=2s -benchmem -count=1 . | tee /tmp/arc_bench_stream.txt
 # benchmeta parses the run, emits the artifact, and enforces the
@@ -68,9 +71,49 @@ go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -benchmem -count=1 . | 
 go run ./cmd/benchmeta kernels < /tmp/arc_bench_kernels.txt > BENCH_kernels.json
 echo "wrote BENCH_kernels.json"
 
+echo "== service smoke (arcd + arcload with fault injection, recorded to BENCH_service.json) =="
+# Boot a real daemon on an ephemeral port, hammer it with a corrupting
+# workload, and gate the result: every within-budget corruption must be
+# repaired, every over-budget one reported, zero silent mismatches, and
+# the smoke-scale throughput/latency floors must hold (benchmeta's
+# nonzero exit fails verify under set -e).
+service_tmp=$(mktemp -d)
+arcd_pid=""
+cleanup_service() {
+    if [ -n "$arcd_pid" ]; then
+        kill "$arcd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$service_tmp"
+}
+trap cleanup_service EXIT
+go build -o "$service_tmp/arcd" ./cmd/arcd
+go build -o "$service_tmp/arcload" ./cmd/arcload
+"$service_tmp/arcd" -addr 127.0.0.1:0 -addrfile "$service_tmp/arcd.addr" &
+arcd_pid=$!
+i=0
+while [ ! -f "$service_tmp/arcd.addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "arcd never wrote its addrfile" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+"$service_tmp/arcload" -addr "$(cat "$service_tmp/arcd.addr")" \
+    -clients 4 -requests 40 -max-size 65536 -corrupt 0.5 -seed 1 \
+    > "$service_tmp/workload.json"
+go run ./cmd/benchmeta service < "$service_tmp/workload.json" > BENCH_service.json
+kill -TERM "$arcd_pid"
+wait "$arcd_pid"
+arcd_pid=""
+echo "wrote BENCH_service.json"
+
 echo "== fuzz smoke (10s per target) =="
 for target in FuzzContainerDecode FuzzSZDecompress FuzzSZDecodeCorruptHeader FuzzZFPDecompress FuzzZFPDecodeCorruptHeader FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined FuzzBitIORoundTrip; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s .
 done
+
+echo "== service frame fuzz smoke (10s) =="
+go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 10s ./internal/service
 
 echo "verify: OK"
