@@ -36,6 +36,8 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		threads  = fs.Int("threads", 0, "per-request codec parallelism (0 = 1)")
 		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown budget before connections are severed")
 		addrfile = fs.String("addrfile", "", "write the bound address to this file once listening")
+		root     = fs.String("root", "", "directory of ARC archives served to READ_RANGE requests (empty disables)")
+		cacheMB  = fs.Int("cache-mb", 0, "decoded-chunk cache budget in MiB for ranged reads (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +48,8 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		Window:     *window,
 		MaxPayload: *maxFrame,
 		Threads:    *threads,
+		Root:       *root,
+		CacheBytes: int64(*cacheMB) << 20,
 	})
 	bound, err := s.Listen(*addr)
 	if err != nil {

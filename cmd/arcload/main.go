@@ -41,9 +41,21 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		overBudget  = fs.Float64("over-budget", 0.25, "fraction of corruptions pushed beyond the ECC budget")
 		maxFlips    = fs.Int("max-flips", 3, "within-budget bit flips per corrupted container")
 		seed        = fs.Int64("seed", 1, "workload RNG seed")
+		rangeArch   = fs.String("range-archive", "", "archive name (in the server's -root) for READ_RANGE traffic")
+		rangeFile   = fs.String("range-file", "", "plaintext file the range archive encodes (ground truth for byte checks)")
+		rangeRatio  = fs.Float64("range-ratio", 0, "fraction of requests issued as ranged reads (requires -range-archive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var rangePlain []byte
+	if *rangeRatio > 0 {
+		var err error
+		rangePlain, err = os.ReadFile(*rangeFile)
+		if err != nil {
+			return fmt.Errorf("arcload: -range-file: %w", err)
+		}
 	}
 
 	res, err := service.RunWorkload(ctx, service.WorkloadOptions{
@@ -58,6 +70,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		OverBudgetRate: *overBudget,
 		MaxFlips:       *maxFlips,
 		Seed:           *seed,
+		RangeRatio:     *rangeRatio,
+		RangeArchive:   *rangeArch,
+		RangePlain:     rangePlain,
 	})
 	if err != nil {
 		return err
@@ -71,8 +86,8 @@ func run(ctx context.Context, args []string, out, errw io.Writer) error {
 		return err
 	}
 	_, _ = fmt.Fprintf(errw, // summary is best-effort; the JSON on stdout is the contract
-		"arcload: %d requests (%d enc / %d dec / %d ver / %d rep) in %.0fms: %.0f req/s, %.1f MB/s, p50 %.2fms p99 %.2fms\n",
-		res.Requests, res.Encodes, res.Decodes, res.Verifies, res.Repairs,
+		"arcload: %d requests (%d enc / %d dec / %d ver / %d rep / %d range) in %.0fms: %.0f req/s, %.1f MB/s, p50 %.2fms p99 %.2fms\n",
+		res.Requests, res.Encodes, res.Decodes, res.Verifies, res.Repairs, res.RangeReads,
 		res.ElapsedMs, res.RequestsPerS, res.ThroughputMBs, res.Latency.P50Ms, res.Latency.P99Ms)
 	_, _ = fmt.Fprintf(errw, // as above
 		"arcload: injected %d within-budget (%d bits) + %d over-budget; repaired %d, reported %d, silent mismatches %d, errors %d\n",

@@ -27,7 +27,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("arcstudy", flag.ContinueOnError)
 	scale := fs.Int("scale", 1, "dataset grid scale")
 	trials := fs.Int("trials", 400, "fault-injection trials per configuration")
@@ -42,7 +42,13 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer stopProf()
+	defer func() {
+		// A profile the user asked for but that failed to write should
+		// fail the run, without masking the study's own error.
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	render := func(t *experiments.Table) error {
 		if *csv {
 			return t.WriteCSV(out)

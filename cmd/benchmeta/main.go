@@ -7,6 +7,7 @@
 //
 //	go test -bench 'BenchmarkStream' -benchmem . | benchmeta stream  > BENCH_stream.json
 //	go test -bench 'BenchmarkKernel' -benchmem . | benchmeta kernels > BENCH_kernels.json
+//	go test -bench 'BenchmarkSeek' -benchmem .   | benchmeta seek    > BENCH_seek.json
 //	arcload -addr $ADDR -corrupt 0.5      | benchmeta service > BENCH_service.json
 //
 // The service subcommand reads an arcload workload result instead of
@@ -235,6 +236,68 @@ func runKernels(in io.Reader, out, errw io.Writer) error {
 }
 
 const (
+	// Seek floors: a small range read out of a large v2 archive must
+	// beat decoding the whole stream by a wide margin (that is the
+	// point of the chunk index), and a cache-warm repeat must beat the
+	// cold read (that is the point of the decoded-chunk cache). The
+	// benchmark reads ~0.45% of a 64 MiB archive, so these are loose
+	// floors over a ~100x expectation — see docs/CONTAINER.md.
+	seekColdSpeedupMin = 20.0
+	seekWarmSpeedupMin = 5.0
+)
+
+type seekArtifact struct {
+	Host       hostMeta           `json:"host"`
+	Note       string             `json:"note"`
+	Benchmarks []benchResult      `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+	Targets    map[string]float64 `json:"targets"`
+}
+
+// runSeek reads BenchmarkSeek output, records the seek artifact, and
+// gates on the ranged-read speedups: cold range vs sequential full
+// decode, and warm (cached) range vs cold.
+func runSeek(in io.Reader, out, errw io.Writer) error {
+	benches, err := parseBench(in, "BenchmarkSeek")
+	if err != nil {
+		return err
+	}
+	ns := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		ns[strings.TrimPrefix(b.Name, "BenchmarkSeek/")] = b.NsPerOp
+	}
+	for _, want := range []string{"full_seq", "full_pipe", "range_cold", "range_warm"} {
+		if ns[want] <= 0 {
+			return fmt.Errorf("seek gate FAILED: missing BenchmarkSeek/%s (run `go test -bench BenchmarkSeek -benchmem .`)", want)
+		}
+	}
+	speedups := map[string]float64{
+		"RangeColdVsFullSeq": round2(ns["full_seq"] / ns["range_cold"]),
+		"RangeWarmVsCold":    round2(ns["range_cold"] / ns["range_warm"]),
+	}
+	art := seekArtifact{
+		Host:       host(),
+		Note:       "one ~0.45% range out of a 64 MiB v2 archive: cold pays the index load and one chunk's ECC decode, warm is a decoded-chunk cache hit; full_seq/full_pipe decode the whole stream (the v1 answer). Ratios are ns/op quotients from the same run.",
+		Benchmarks: benches,
+		Speedups:   speedups,
+		Targets: map[string]float64{
+			"RangeColdVsFullSeq_min": seekColdSpeedupMin,
+			"RangeWarmVsCold_min":    seekWarmSpeedupMin,
+		},
+	}
+	if err := emit(out, art); err != nil {
+		return err
+	}
+	cold, warm := speedups["RangeColdVsFullSeq"], speedups["RangeWarmVsCold"]
+	if cold < seekColdSpeedupMin || warm < seekWarmSpeedupMin {
+		return fmt.Errorf("seek gate FAILED: cold range %.1fx over full decode (need %gx), warm %.1fx over cold (need %gx)",
+			cold, seekColdSpeedupMin, warm, seekWarmSpeedupMin)
+	}
+	_, err = fmt.Fprintf(errw, "seek gate OK: cold range %.1fx over full decode, warm %.1fx over cold\n", cold, warm)
+	return err
+}
+
+const (
 	// Smoke-scale service floors: deliberately conservative so they
 	// hold on a loaded single-core CI runner while still catching a
 	// service that has fallen off a cliff (or deadlocked into a
@@ -348,8 +411,10 @@ func run(args []string, in io.Reader, out, errw io.Writer) error {
 		return runKernels(in, out, errw)
 	case "service":
 		return runService(in, out, errw)
+	case "seek":
+		return runSeek(in, out, errw)
 	default:
-		return fmt.Errorf("unknown subcommand %q (want stream, kernels, or service, or no argument for host metadata)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want stream, kernels, seek, or service, or no argument for host metadata)", args[0])
 	}
 }
 

@@ -170,6 +170,62 @@ func TestKernelsGateFailsWhenPairMissing(t *testing.T) {
 	}
 }
 
+const seekSample = `goos: linux
+BenchmarkSeek/full_seq-4         	       7	 167034828 ns/op	 401.77 MB/s	   19496 B/op	      27 allocs/op
+BenchmarkSeek/full_pipe-4        	       8	 142901100 ns/op	 469.58 MB/s	    3064 B/op	      23 allocs/op
+BenchmarkSeek/range_cold-4       	     300	   3848765 ns/op	  77.95 MB/s	 1062472 B/op	      66 allocs/op
+BenchmarkSeek/range_warm-4       	   30000	     39423 ns/op	7609.77 MB/s	      48 B/op	       1 allocs/op
+PASS
+`
+
+func TestSeekArtifactAndGate(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := runSeek(strings.NewReader(seekSample), &out, &errw); err != nil {
+		t.Fatalf("gate should pass on sample: %v", err)
+	}
+	var art seekArtifact
+	if err := json.Unmarshal(out.Bytes(), &art); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := art.Speedups["RangeColdVsFullSeq"]; got < 43 || got > 44 {
+		t.Errorf("RangeColdVsFullSeq = %v, want ~43.4", got)
+	}
+	if got := art.Speedups["RangeWarmVsCold"]; got < 97 || got > 98 {
+		t.Errorf("RangeWarmVsCold = %v, want ~97.6", got)
+	}
+	if art.Targets["RangeColdVsFullSeq_min"] != seekColdSpeedupMin {
+		t.Errorf("targets = %v", art.Targets)
+	}
+	if !strings.Contains(errw.String(), "seek gate OK") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestSeekGateFailsBelowFloor(t *testing.T) {
+	// A cold range read barely faster than the full decode: the index
+	// has stopped paying for itself.
+	slow := strings.Replace(seekSample, "	   3848765 ns/op", "	  90000000 ns/op", 1)
+	var out, errw bytes.Buffer
+	err := runSeek(strings.NewReader(slow), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "seek gate FAILED") {
+		t.Fatalf("err = %v, want seek gate failure", err)
+	}
+}
+
+func TestSeekGateFailsWhenBenchMissing(t *testing.T) {
+	var lines []string
+	for _, l := range strings.Split(seekSample, "\n") {
+		if !strings.Contains(l, "range_warm") {
+			lines = append(lines, l)
+		}
+	}
+	var out, errw bytes.Buffer
+	err := runSeek(strings.NewReader(strings.Join(lines, "\n")), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "missing BenchmarkSeek/range_warm") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
 func TestHostOnlyModeIsSingleLine(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, strings.NewReader(""), &out, &bytes.Buffer{}); err != nil {

@@ -19,8 +19,12 @@ func (a *ARC) EncodeFile(src, dst string, mem, bw float64, res Resiliency, chunk
 }
 
 // EncodeFileWith is EncodeFile with explicit stream options (chunk
-// size and encode pipelining).
+// size and encode pipelining). File archives are always written in
+// container v2 — the footer index costs a few dozen bytes per chunk
+// and buys ReaderAt random access — so opts.Indexed is forced on;
+// callers needing a bare v1 stream can use NewWriterWith directly.
 func (a *ARC) EncodeFileWith(src, dst string, mem, bw float64, res Resiliency, opts StreamOptions) (Choice, int64, error) {
+	opts.Indexed = true
 	in, err := os.Open(src)
 	if err != nil {
 		return Choice{}, 0, err

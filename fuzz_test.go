@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/bitio"
+	"repro/internal/core"
 	"repro/internal/huffman"
 	"repro/internal/sz"
 	"repro/internal/zfp"
@@ -194,6 +195,86 @@ func FuzzStreamReaderPipelined(f *testing.F) {
 			}
 			if !drain {
 				return // exercise Close-without-drain
+			}
+		}
+	})
+}
+
+// FuzzIndexDecode drives the v2 footer/trailer parser with arbitrary
+// tails behind a pristine chunk stream. The index is an optimization,
+// never an authority: whatever the tail claims, opening must not
+// panic, allocations stay bounded, a reader that fell back to the
+// scan path must deliver the full original bytes, and a reader that
+// accepted an index must either return the original bytes or an error
+// — never wrong data.
+func FuzzIndexDecode(f *testing.F) {
+	orig := make([]byte, 3*4096)
+	for i := range orig {
+		orig[i] = byte(i*7 + i>>9)
+	}
+	eng := &core.Engine{}
+	choice := core.Choice{Config: core.Config{Method: SECDED, Param: 64}, Threads: 1}
+	encode := func(indexed bool) []byte {
+		var buf bytes.Buffer
+		w, err := eng.NewChunkWriterChoice(&buf, choice,
+			core.StreamOptions{ChunkSize: 4096, Pipeline: 1, Indexed: indexed})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := w.Write(orig); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	prefix := encode(false) // the bare v1 chunk stream
+	v2 := encode(true)      // identical prefix + index footer + trailer
+	footer := v2[len(prefix):]
+
+	f.Add(footer) // the real footer: the index must load
+	f.Add([]byte{})
+	f.Add(make([]byte, len(footer))) // zeroed: no trailer magic
+	f.Add(footer[:len(footer)-30])   // truncated mid-trailer
+	f.Add(footer[len(footer)-72:])   // trailer pointing past the file
+	flipped := append([]byte(nil), footer...)
+	flipped[10] ^= 0x04 // one bit in the index payload: ECC territory
+	f.Add(flipped)
+	broken := append([]byte(nil), footer...)
+	for i := len(broken) - 72; i < len(broken); i++ {
+		broken[i] ^= 0xA5 // all three trailer replicas damaged
+	}
+	f.Add(broken)
+
+	f.Fuzz(func(t *testing.T, tail []byte) {
+		if len(tail) > 1<<16 {
+			return
+		}
+		data := append(append([]byte(nil), prefix...), tail...)
+		got := make([]byte, len(orig))
+		var r *ReaderAt
+		var n int
+		var err error
+		delta := decodeAllocDelta(func() {
+			r, err = OpenReaderAt(bytes.NewReader(data), int64(len(data)), RangeOptions{Pipeline: 1})
+			if err != nil {
+				t.Fatalf("open must fall back to the scan, not fail: %v", err)
+			}
+			defer r.Close()
+			n, _, err = r.ReadRange(got, 0, int64(len(orig)))
+		})
+		if delta > corruptAllocBudget(len(data)) {
+			t.Fatalf("decode allocated %d bytes for a %d-byte input", delta, len(data))
+		}
+		if !r.Indexed() && err != nil {
+			// The chunk prefix is pristine: the scan fallback has no
+			// excuse not to serve it.
+			t.Fatalf("scan-path read failed: %v", err)
+		}
+		if err == nil {
+			if n != len(orig) || !bytes.Equal(got[:n], orig) {
+				t.Fatalf("read returned wrong bytes (indexed=%v, n=%d)", r.Indexed(), n)
 			}
 		}
 	})

@@ -1,0 +1,262 @@
+// Package cache provides the decoded-chunk cache behind ARC's range
+// reads: a sharded, mutex-striped LRU keyed by (archive, chunk) with a
+// byte-size budget, single-flight loading so concurrent readers of one
+// chunk decode it once, and hit/miss/eviction counters exported as a
+// metrics.CacheStats for the arcd STATS endpoint.
+//
+// Values are immutable once inserted: readers receive the cached slice
+// directly and must not write through it. Eviction only drops the
+// cache's reference, so a slice handed out before an eviction stays
+// valid for its holder — there is no recycling and therefore no
+// use-after-evict hazard.
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Key identifies one cached chunk: the archive it belongs to (callers
+// sharing one Cache across archives allocate distinct Archive ids) and
+// the chunk ordinal within it.
+type Key struct {
+	Archive uint64
+	Chunk   int64
+}
+
+// shardCount is the number of independent LRU shards. Striping the
+// mutex keeps concurrent readers of different chunks off each other's
+// locks; 16 shards cover the worker counts the range decoder runs.
+const shardCount = 16
+
+// DefaultBudgetBytes is the cache budget when the caller passes <= 0.
+const DefaultBudgetBytes = 64 << 20
+
+// ErrClosed reports a load attempted on (or interrupted by) a closed
+// cache.
+var ErrClosed = errors.New("cache: closed")
+
+// entry is one resident chunk, linked into its shard's LRU list
+// (front = most recent).
+type entry struct {
+	key        Key
+	val        []byte
+	prev, next *entry // LRU neighbors; nil at list ends
+}
+
+// flight is one in-progress load. The leader closes done after
+// publishing val/err; followers block on done (or the cache's quit).
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// shard is one LRU stripe. All fields are guarded by mu.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[Key]*entry
+	inflight map[Key]*flight
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	bytes    int64
+}
+
+// Cache is a sharded single-flight LRU of decoded chunks. Construct
+// with New; all methods are safe for concurrent use. The quit channel
+// doubles as the cancellation affordance for followers parked on an
+// in-flight load: Close unblocks them with ErrClosed.
+type Cache struct {
+	shards      [shardCount]shard
+	shardBudget int64
+	budget      int64
+	quit        chan struct{}
+	quitOnce    sync.Once
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+// New creates a cache with the given byte budget (<= 0 selects
+// DefaultBudgetBytes). The budget is split evenly across shards; each
+// shard always retains at least its most recent entry, so a single
+// chunk larger than a shard's slice is still cacheable.
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudgetBytes
+	}
+	c := &Cache{
+		budget:      budgetBytes,
+		shardBudget: budgetBytes / shardCount,
+		quit:        make(chan struct{}),
+	}
+	if c.shardBudget < 1 {
+		c.shardBudget = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry)
+		c.shards[i].inflight = make(map[Key]*flight)
+	}
+	return c
+}
+
+// shardFor maps a key to its stripe with a cheap integer mix.
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.Archive*0x9E3779B97F4A7C15 + uint64(k.Chunk)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &c.shards[h%shardCount]
+}
+
+// GetOrLoad returns the cached value for k, or runs load exactly once
+// per miss (concurrent callers of the same key wait for the leader's
+// result rather than loading again). The returned slice is shared and
+// must be treated as read-only. After Close, GetOrLoad (and followers
+// already parked on a load) fail with ErrClosed.
+func (c *Cache) GetOrLoad(k Key, load func() ([]byte, error)) ([]byte, error) {
+	select {
+	case <-c.quit:
+		return nil, ErrClosed
+	default:
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, nil
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		select {
+		case <-fl.done:
+			return fl.val, fl.err
+		case <-c.quit:
+			return nil, ErrClosed
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[k] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	fl.val, fl.err = load()
+	// Publish before delisting so a follower that raced past the
+	// entries check still finds the flight or the inserted entry.
+	closed := false
+	select {
+	case <-c.quit:
+		closed = true // Close raced the load; don't repopulate a drained cache
+	default:
+	}
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if fl.err == nil && !closed {
+		c.insertLocked(s, k, fl.val)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// insertLocked adds (k, val) to s, evicting from the cold end until the
+// shard is back under budget. The newly inserted entry is never
+// evicted, so an oversized chunk still serves repeat reads until the
+// next insert displaces it. Caller holds s.mu.
+func (c *Cache) insertLocked(s *shard, k Key, val []byte) {
+	if _, ok := s.entries[k]; ok {
+		return // a racing leader for the same key already landed it
+	}
+	e := &entry{key: k, val: val}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.bytes += int64(len(val))
+	c.bytes.Add(int64(len(val)))
+	c.entries.Add(1)
+	for s.bytes > c.shardBudget && s.tail != nil && s.tail != e {
+		c.evictLocked(s, s.tail)
+	}
+}
+
+// evictLocked removes e from s. Caller holds s.mu.
+func (c *Cache) evictLocked(s *shard, e *entry) {
+	s.unlink(e)
+	delete(s.entries, e.key)
+	s.bytes -= int64(len(e.val))
+	c.bytes.Add(-int64(len(e.val)))
+	c.entries.Add(-1)
+	c.evictions.Add(1)
+}
+
+// Close marks the cache closed and unblocks every follower parked on
+// an in-flight load. Leaders finish their loads (the result is still
+// delivered to them); resident entries are dropped. Close is
+// idempotent.
+func (c *Cache) Close() error {
+	c.quitOnce.Do(func() { close(c.quit) })
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for s.tail != nil {
+			c.evictLocked(s, s.tail)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() metrics.CacheStats {
+	return metrics.CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Entries:     c.entries.Load(),
+		Bytes:       c.bytes.Load(),
+		BudgetBytes: c.budget,
+	}
+}
+
+// pushFront links e as the most recently used entry.
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the LRU list.
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront marks e as most recently used.
+func (s *shard) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

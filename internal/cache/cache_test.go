@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrLoadHitMiss(t *testing.T) {
+	c := New(1 << 20)
+	loads := 0
+	load := func() ([]byte, error) { loads++; return []byte("chunk-0"), nil }
+
+	k := Key{Archive: 1, Chunk: 0}
+	v, err := c.GetOrLoad(k, load)
+	if err != nil || string(v) != "chunk-0" {
+		t.Fatalf("first GetOrLoad = %q, %v", v, err)
+	}
+	v, err = c.GetOrLoad(k, func() ([]byte, error) { t.Fatal("loaded twice"); return nil, nil })
+	if err != nil || string(v) != "chunk-0" {
+		t.Fatalf("second GetOrLoad = %q, %v", v, err)
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BudgetBytes != 1<<20 {
+		t.Fatalf("budget = %d, want %d", st.BudgetBytes, 1<<20)
+	}
+}
+
+func TestLoadErrorNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	k := Key{Archive: 3, Chunk: 9}
+	if _, err := c.GetOrLoad(k, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("error load = %v, want boom", err)
+	}
+	// The failure must not poison the key: the next load runs and wins.
+	v, err := c.GetOrLoad(k, func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("retry = %q, %v", v, err)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Misses != 2 {
+		t.Fatalf("stats after retry = %+v", st)
+	}
+}
+
+func TestEvictionUnderBudget(t *testing.T) {
+	// A tiny budget forces every insert to evict its predecessors.
+	c := New(shardCount * 16) // 16 bytes per shard
+	val := bytes.Repeat([]byte{0xAB}, 12)
+	// Same archive, consecutive chunks; keys spread across shards, so
+	// drive enough of them through that some shard sees two inserts.
+	for i := int64(0); i < 64; i++ {
+		if _, err := c.GetOrLoad(Key{Archive: 7, Chunk: i}, func() ([]byte, error) { return val, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after 64 oversized inserts: %+v", st)
+	}
+	if st.Bytes > int64(shardCount*16+len(val)*shardCount) {
+		t.Fatalf("resident bytes %d exceed budget slack: %+v", st.Bytes, st)
+	}
+	// The most recent entry in its shard always survives.
+	hit := false
+	if _, err := c.GetOrLoad(Key{Archive: 7, Chunk: 63}, func() ([]byte, error) {
+		return val, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hit = c.Stats().Hits > 0
+	if !hit {
+		t.Fatalf("most recent entry was evicted: %+v", c.Stats())
+	}
+}
+
+func TestSingleFlightConcurrent(t *testing.T) {
+	c := New(1 << 20)
+	var loads atomic.Int64
+	release := make(chan struct{})
+	k := Key{Archive: 5, Chunk: 5}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrLoad(k, func() ([]byte, error) {
+				loads.Add(1)
+				<-release
+				return []byte("slow"), nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("load ran %d times, want 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil || string(results[i]) != "slow" {
+			t.Fatalf("caller %d got %q, %v", i, results[i], errs[i])
+		}
+	}
+}
+
+func TestCloseUnblocksFollowers(t *testing.T) {
+	c := New(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	k := Key{Archive: 9, Chunk: 1}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad(k, func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("late"), nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad(k, func() ([]byte, error) { return nil, errors.New("follower must not load") })
+		followerDone <- err
+	}()
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-followerDone; !errors.Is(err, ErrClosed) {
+		t.Fatalf("follower err = %v, want ErrClosed", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v, want nil (its own load completed)", err)
+	}
+	// Post-close lookups refuse rather than repopulate.
+	if _, err := c.GetOrLoad(k, func() ([]byte, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close GetOrLoad err = %v, want ErrClosed", err)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("closed cache still resident: %+v", st)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(4 << 10) // small enough to churn
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Archive: uint64(g % 3), Chunk: int64(i % 17)}
+				want := fmt.Sprintf("a%d-c%d", k.Archive, k.Chunk)
+				v, err := c.GetOrLoad(k, func() ([]byte, error) { return []byte(want), nil })
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(v) != want {
+					t.Errorf("key %+v returned %q, want %q", k, v, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*200 {
+		t.Fatalf("hits+misses = %d, want %d (%+v)", st.Hits+st.Misses, 8*200, st)
+	}
+}

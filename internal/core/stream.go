@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"runtime"
@@ -41,6 +42,13 @@ type StreamOptions struct {
 	// today's historical behaviour); <= 0 selects a default bounded by
 	// the worker budget. Output bytes are identical either way.
 	Pipeline int
+	// Indexed appends the container v2 footer — an ECC+CRC-protected
+	// chunk index and a replicated trailer — after the chunk stream,
+	// enabling random access through RangeReader (see index.go and
+	// docs/CONTAINER.md). Readers that stream sequentially skip the
+	// footer, so v2 output decodes to the same bytes as v1. Ignored on
+	// the read side: streams are self-describing.
+	Indexed bool
 }
 
 // normalize applies the documented defaults. budget is the relevant
@@ -143,6 +151,16 @@ type ChunkWriter struct {
 	codecs    codecCache
 	seq       *chunkScratch // sequential-path scratch (pipeline == 1)
 
+	// v2 index accumulation (nil/inactive unless Indexed). Entries are
+	// appended by whichever goroutine emits chunks — the caller in
+	// sequential mode, the emit goroutine when pipelined — and read by
+	// Close only after that goroutine is joined, so no lock is needed.
+	indexed  bool
+	index    []indexEntry
+	nextOff  int64
+	origOff  int64
+	indexErr error
+
 	// Pipelined state (nil/unused when pipeline == 1). The producer
 	// (Write/Close caller) submits full chunks; encoder workers protect
 	// them concurrently; the emitter goroutine writes encoded chunks to
@@ -185,6 +203,7 @@ func (e *Engine) NewChunkWriterChoice(w io.Writer, choice Choice, opts StreamOpt
 		payload:   getChunkBuf(opts.ChunkSize),
 		chunkSize: opts.ChunkSize,
 		pipeline:  opts.Pipeline,
+		indexed:   opts.Indexed,
 	}
 	cw.payload.b = cw.payload.b[:0]
 	if cw.pipeline > 1 {
@@ -283,10 +302,41 @@ func (cw *ChunkWriter) emit() {
 			cw.pipe.Abort()
 			continue
 		}
+		cw.noteChunk(enc.b)
 		cw.written.Add(int64(len(enc.b)))
 		putChunkBuf(enc)
 	}
 }
+
+// noteChunk records one just-emitted container in the v2 index. It is
+// called only by the goroutine that writes chunks (flush when
+// sequential, emit when pipelined), so the index fields need no lock;
+// Close reads them only after that goroutine is joined.
+func (cw *ChunkWriter) noteChunk(container []byte) {
+	if !cw.indexed || cw.indexErr != nil {
+		return
+	}
+	origLen := int64(binary.LittleEndian.Uint64(container[14:22]))
+	if origLen > maxIndexedChunk {
+		// An index entry stores OrigLen in 32 bits; a chunk beyond that
+		// cannot be indexed. Surface the failure at Close rather than
+		// writing an index that lies.
+		cw.indexErr = fmt.Errorf("core: chunk of %d bytes exceeds the indexable maximum (%d)", origLen, maxIndexedChunk)
+		return
+	}
+	cw.index = append(cw.index, indexEntry{
+		Off:       cw.nextOff,
+		EncLen:    int64(len(container) - ContainerOverheadBytes),
+		OrigStart: cw.origOff,
+		OrigLen:   origLen,
+		HdrCRC:    headerCRC(container),
+	})
+	cw.nextOff += int64(len(container))
+	cw.origOff += origLen
+}
+
+// maxIndexedChunk is the largest OrigLen an index entry can record.
+const maxIndexedChunk = 1<<32 - 1
 
 // firstErr surfaces the pipeline's first writer-side error, if any.
 func (cw *ChunkWriter) firstErr() error {
@@ -312,6 +362,7 @@ func (cw *ChunkWriter) flush() error {
 			cw.err = err
 			return err
 		}
+		cw.noteChunk(enc.b)
 		cw.written.Add(int64(len(enc.b)))
 		putChunkBuf(enc)
 		cw.payload.b = cw.payload.b[:0]
@@ -363,11 +414,29 @@ func (cw *ChunkWriter) Close() error {
 	}
 	putChunkBuf(cw.payload)
 	cw.payload = nil
+	if err == nil && cw.indexed {
+		err = cw.writeFooter()
+	}
 	if err != nil {
 		cw.err = err
 		return err
 	}
 	cw.err = fmt.Errorf("core: chunk writer is closed")
+	return nil
+}
+
+// writeFooter appends the v2 index chunk and trailer after every data
+// chunk has been emitted (the emit goroutine, when any, is already
+// joined, so the index slice is complete and stable).
+func (cw *ChunkWriter) writeFooter() error {
+	if cw.indexErr != nil {
+		return cw.indexErr
+	}
+	foot := appendIndexFooter(nil, cw.index, cw.nextOff)
+	if _, err := cw.w.Write(foot); err != nil {
+		return err
+	}
+	cw.written.Add(int64(len(foot)))
 	return nil
 }
 
@@ -574,6 +643,15 @@ func (cr *ChunkReader) readChunk() (encChunk, error) {
 	if err != nil {
 		return encChunk{}, err
 	}
+	if h.Method == indexMethod {
+		// The v2 footer: data is over. Consume the index payload and
+		// trailer so a caller layering more reads on the same stream
+		// lands past the footer, then report the clean end.
+		if _, err := io.CopyN(io.Discard, cr.r, int64(h.EncLen)); err == nil {
+			_, _ = io.CopyN(io.Discard, cr.r, TrailerBytes) // best-effort: a short trailer changes nothing already delivered
+		}
+		return encChunk{}, io.EOF
+	}
 	if h.EncLen < 0 || h.EncLen > maxChunkPayload {
 		return encChunk{}, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)
 	}
@@ -688,6 +766,14 @@ func InspectStream(r io.Reader) ([]ChunkInfo, error) {
 		h, err := unmarshalHeader(hdr)
 		if err != nil {
 			return infos, err
+		}
+		if h.Method == indexMethod {
+			// v2 footer: skip the index payload and trailer; the chunk
+			// walk is complete.
+			if _, err := io.CopyN(io.Discard, r, int64(h.EncLen)); err == nil {
+				_, _ = io.CopyN(io.Discard, r, TrailerBytes) // best-effort, as in readChunk
+			}
+			return infos, nil
 		}
 		if h.EncLen > maxChunkPayload {
 			return infos, fmt.Errorf("%w: implausible chunk payload %d", ErrContainer, h.EncLen)

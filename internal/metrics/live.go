@@ -184,6 +184,22 @@ type Live struct {
 	correctedBlocks  atomic.Int64
 
 	latency Histogram
+
+	// cacheSrc holds a func() CacheStats installed by SetCacheSource;
+	// Snapshot polls it so the STATS payload carries live cache
+	// counters without this package importing the cache.
+	cacheSrc atomic.Value
+}
+
+// CacheStats is a point-in-time view of a chunk cache's counters, as
+// embedded in a LiveSnapshot (and exposed directly by the cache).
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int64 `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
 }
 
 // NewLive creates a Live counter set with one request/error pair per
@@ -243,6 +259,15 @@ func (l *Live) RepairObserved(detectedBlocks, correctedBits, correctedBlocks int
 // (e.g. by tests) without going through RequestDone.
 func (l *Live) Latency() *Histogram { return &l.latency }
 
+// SetCacheSource installs the function Snapshot polls for cache
+// counters. A nil source (or never calling this) leaves the snapshot's
+// cache field absent.
+func (l *Live) SetCacheSource(src func() CacheStats) {
+	if src != nil {
+		l.cacheSrc.Store(src)
+	}
+}
+
 // OpSnapshot is one operation's counters in a LiveSnapshot.
 type OpSnapshot struct {
 	Name     string `json:"name"`
@@ -267,6 +292,7 @@ type LiveSnapshot struct {
 	CorrectedBits    int64             `json:"corrected_bits"`
 	CorrectedBlocks  int64             `json:"corrected_blocks"`
 	Latency          HistogramSnapshot `json:"latency"`
+	Cache            *CacheStats       `json:"cache,omitempty"`
 	Ops              []OpSnapshot      `json:"ops"`
 }
 
@@ -287,6 +313,10 @@ func (l *Live) Snapshot() LiveSnapshot {
 		CorrectedBlocks:  l.correctedBlocks.Load(),
 		Latency:          l.latency.Snapshot(),
 		Ops:              make([]OpSnapshot, len(l.ops)),
+	}
+	if src, ok := l.cacheSrc.Load().(func() CacheStats); ok {
+		cs := src()
+		s.Cache = &cs
 	}
 	for i := range l.ops {
 		req := l.ops[i].requests.Load()

@@ -9,6 +9,7 @@
 package profiling
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,11 +34,11 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 
 // Start begins CPU profiling when requested. The returned stop
 // function ends the CPU profile and writes the heap profile; call it
-// (typically via defer) after the measured work. Profile-write
-// failures at stop time are reported to stderr rather than returned:
-// by then the command's real work has succeeded and its exit status
-// should say so.
-func (f *Flags) Start() (stop func(), err error) {
+// after the measured work and propagate its error — a profile the
+// user asked for but that failed to land on disk should fail the
+// command, not vanish into a log line. Commands that defer it fold
+// the error into a named return so the exit status reflects it.
+func (f *Flags) Start() (stop func() error, err error) {
 	var cpuFile *os.File
 	if f.cpu != "" {
 		cpuFile, err = os.Create(f.cpu)
@@ -49,26 +50,33 @@ func (f *Flags) Start() (stop func(), err error) {
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
-	return func() {
+	return func() error {
+		var errs []error
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: cpuprofile:", err)
+				errs = append(errs, fmt.Errorf("cpuprofile: %w", err))
 			}
 		}
 		if f.mem != "" {
-			mf, err := os.Create(f.mem)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
-				return
-			}
-			runtime.GC() // flush recently freed objects so live-heap numbers are current
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
-			}
-			if err := mf.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "profiling: memprofile:", err)
+			if err := writeHeapProfile(f.mem); err != nil {
+				errs = append(errs, fmt.Errorf("memprofile: %w", err))
 			}
 		}
+		return errors.Join(errs...)
 	}, nil
+}
+
+// writeHeapProfile snapshots the live heap to path.
+func writeHeapProfile(path string) error {
+	mf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // flush recently freed objects so live-heap numbers are current
+	if err := pprof.WriteHeapProfile(mf); err != nil {
+		_ = mf.Close() // the profile is already lost; report the write error
+		return err
+	}
+	return mf.Close()
 }

@@ -26,7 +26,9 @@ func TestProfilesWritten(t *testing.T) {
 		sink += i * i
 	}
 	_ = sink
-	stop()
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []string{cpu, mem} {
 		st, err := os.Stat(p)
 		if err != nil {
@@ -48,7 +50,25 @@ func TestNoFlagsNoFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stop() // must be a no-op without panicking
+	if err := stop(); err != nil { // must be a no-op without erroring
+		t.Fatal(err)
+	}
+}
+
+func TestMemProfileStopError(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := AddFlags(fs)
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "mem")
+	if err := fs.Parse([]string{"-memprofile", bad}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("expected stop to report the unwritable heap profile")
+	}
 }
 
 func TestCPUProfileCreateError(t *testing.T) {

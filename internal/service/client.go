@@ -146,6 +146,24 @@ func (c *Client) Repair(ctx context.Context, container []byte) ([]byte, Report, 
 	return append([]byte(nil), fresh...), rep, nil
 }
 
+// ReadRange asks the server to decode n original bytes of the named
+// root archive starting at byte first. It returns the decoded bytes
+// (copied; fewer than n when the range runs past the archive's end)
+// and the repair accounting for the chunks the server decoded serving
+// this call — cache-warm ranges report zero.
+func (c *Client) ReadRange(ctx context.Context, name string, first, n int64) ([]byte, Report, error) {
+	req := AppendReadRangeRequest(make([]byte, 0, rangeReqHeaderLen+len(name)), name, first, n)
+	out, err := c.roundTrip(ctx, OpReadRange, req)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep, data, err := ParseReport(out)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	return append([]byte(nil), data...), rep, nil
+}
+
 // Stats fetches the server's live counters as raw JSON (a
 // metrics.LiveSnapshot).
 func (c *Client) Stats(ctx context.Context) ([]byte, error) {

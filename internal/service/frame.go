@@ -48,17 +48,18 @@ const (
 // Op identifies a request (and its response: responses echo the op).
 type Op uint8
 
-// The five operations of the protocol.
+// The six operations of the protocol.
 const (
 	OpEncode Op = 1 + iota
 	OpDecode
 	OpVerify
 	OpRepair
 	OpStats
-	opMax = OpStats
+	OpReadRange
+	opMax = OpReadRange
 )
 
-var opNames = [...]string{"invalid", "encode", "decode", "verify", "repair", "stats"}
+var opNames = [...]string{"invalid", "encode", "decode", "verify", "repair", "stats", "read-range"}
 
 // String implements fmt.Stringer.
 func (o Op) String() string {
@@ -279,9 +280,46 @@ func ParseEncodeRequest(payload []byte) (method ecc.Method, param int, data []by
 	return ecc.Method(payload[0]), int(binary.BigEndian.Uint16(payload[1:])), payload[encodeReqHeaderLen:], nil
 }
 
-// Report is the repair accounting a DECODE, VERIFY, or REPAIR
-// response carries ahead of its data: how much damage the container
-// showed and how much was corrected.
+// Read-range requests name an archive in the server's root and an
+// original-byte window to decode:
+//
+//	offset size field
+//	0      8    first original byte (big-endian)
+//	8      8    byte count
+//	16     n    archive name (bare file name, no separators)
+const rangeReqHeaderLen = 16
+
+// AppendReadRangeRequest appends an OpReadRange request payload. The
+// response carries a Report followed by the decoded bytes — possibly
+// fewer than n when the range extends past the archive's end.
+func AppendReadRangeRequest(dst []byte, name string, first, n int64) []byte {
+	var h [rangeReqHeaderLen]byte
+	binary.BigEndian.PutUint64(h[0:], uint64(first))
+	binary.BigEndian.PutUint64(h[8:], uint64(n))
+	dst = append(dst, h[:]...)
+	return append(dst, name...)
+}
+
+// ParseReadRangeRequest splits an OpReadRange payload.
+func ParseReadRangeRequest(payload []byte) (name string, first, n int64, err error) {
+	if len(payload) < rangeReqHeaderLen {
+		return "", 0, 0, fmt.Errorf("%w: read-range request shorter than its header", ErrBadFrame)
+	}
+	first = int64(binary.BigEndian.Uint64(payload[0:]))
+	n = int64(binary.BigEndian.Uint64(payload[8:]))
+	if first < 0 || n < 0 {
+		return "", 0, 0, fmt.Errorf("%w: negative read-range window", ErrBadFrame)
+	}
+	name = string(payload[rangeReqHeaderLen:])
+	if name == "" {
+		return "", 0, 0, fmt.Errorf("%w: read-range request names no archive", ErrBadFrame)
+	}
+	return name, first, n, nil
+}
+
+// Report is the repair accounting a DECODE, VERIFY, REPAIR, or
+// READ_RANGE response carries ahead of its data: how much damage the
+// container showed and how much was corrected.
 type Report struct {
 	DetectedBlocks  int
 	CorrectedBits   int

@@ -62,6 +62,17 @@ type WorkloadOptions struct {
 	// MaxPayload bounds frames on the client side (<= 0 means
 	// DefaultMaxPayload).
 	MaxPayload int
+	// RangeRatio is the fraction of requests issued as READ_RANGE
+	// calls against RangeArchive (0 disables; clamped to [0, 0.9] so
+	// the encode/decode mix keeps running). Requires a server with an
+	// archive root.
+	RangeRatio float64
+	// RangeArchive is the archive file name (within the server's root)
+	// ranged reads address.
+	RangeArchive string
+	// RangePlain is the plaintext RangeArchive encodes — the ground
+	// truth every ranged response is byte-compared against.
+	RangePlain []byte
 }
 
 func (o WorkloadOptions) withDefaults() (WorkloadOptions, error) {
@@ -104,6 +115,15 @@ func (o WorkloadOptions) withDefaults() (WorkloadOptions, error) {
 	if o.CorruptRate > 0 && (o.Method != ecc.MethodSECDED || o.Param != 64) {
 		return o, errors.New("service: fault injection requires the secded64 configuration (its layout makes error budgets constructible)")
 	}
+	if o.RangeRatio < 0 {
+		o.RangeRatio = 0
+	}
+	if o.RangeRatio > 0.9 {
+		o.RangeRatio = 0.9
+	}
+	if o.RangeRatio > 0 && (o.RangeArchive == "" || len(o.RangePlain) == 0) {
+		return o, errors.New("service: the range workload requires RangeArchive and its RangePlain ground truth")
+	}
 	return o, nil
 }
 
@@ -111,12 +131,13 @@ func (o WorkloadOptions) withDefaults() (WorkloadOptions, error) {
 // accounting, the integrity verdicts, and the client-side service
 // levels. It is the JSON contract consumed by `benchmeta service`.
 type WorkloadResult struct {
-	Clients  int `json:"clients"`
-	Requests int `json:"requests"`
-	Encodes  int `json:"encodes"`
-	Decodes  int `json:"decodes"`
-	Verifies int `json:"verifies"`
-	Repairs  int `json:"repairs"`
+	Clients    int `json:"clients"`
+	Requests   int `json:"requests"`
+	Encodes    int `json:"encodes"`
+	Decodes    int `json:"decodes"`
+	Verifies   int `json:"verifies"`
+	Repairs    int `json:"repairs"`
+	RangeReads int `json:"range_reads"`
 	// Errors counts unexpected failures: transport errors, protocol
 	// violations, and any response that contradicts the ground truth.
 	// A healthy run reports 0.
@@ -246,6 +267,7 @@ func mergeResults(dst, src *WorkloadResult) {
 	dst.Decodes += src.Decodes
 	dst.Verifies += src.Verifies
 	dst.Repairs += src.Repairs
+	dst.RangeReads += src.RangeReads
 	dst.Errors += src.Errors
 	dst.InjectedWithin += src.InjectedWithin
 	dst.InjectedWithinBits += src.InjectedWithinBits
@@ -278,6 +300,13 @@ func runClient(ctx context.Context, opts WorkloadOptions, id int, lat *metrics.H
 	for i := 0; i < opts.Requests; i++ {
 		if ctx.Err() != nil {
 			return t
+		}
+		if opts.RangeRatio > 0 && rng.Float64() < opts.RangeRatio {
+			if err := clientRangeRead(ctx, c, opts, rng, lat, &t); err != nil {
+				t.err = fmt.Errorf("service: client %d: %w", id, err)
+				return t
+			}
+			continue
 		}
 		if len(cache) == 0 || rng.Float64() < opts.EncodeRatio {
 			item, err := clientEncode(ctx, c, opts, rng, zipf, lat, &t)
@@ -321,6 +350,40 @@ func clientEncode(ctx context.Context, c *Client, opts WorkloadOptions, rng *ran
 	}
 	t.result.BytesReceived += int64(len(container))
 	return cachedItem{original: data, container: container}, nil
+}
+
+// clientRangeRead issues one READ_RANGE against the configured
+// archive and byte-compares the response with the plaintext ground
+// truth — a mismatch is the same silent-wrongness verdict a bad
+// decode earns.
+func clientRangeRead(ctx context.Context, c *Client, opts WorkloadOptions, rng *rand.Rand, lat *metrics.Histogram, t *clientTally) error {
+	size := int64(len(opts.RangePlain))
+	first := rng.Int63n(size)
+	maxN := size - first
+	if maxN > 64<<10 {
+		maxN = 64 << 10
+	}
+	n := 1 + rng.Int63n(maxN)
+
+	start := time.Now()
+	data, _, err := c.ReadRange(ctx, opts.RangeArchive, first, n)
+	lat.Observe(time.Since(start))
+	t.result.Requests++
+	t.result.RangeReads++
+	t.result.BytesSent += rangeReqHeaderLen + int64(len(opts.RangeArchive))
+	if err != nil {
+		t.result.Errors++
+		if transportError(err) {
+			return fmt.Errorf("read-range [%d, +%d): %w", first, n, err)
+		}
+		return nil
+	}
+	t.result.BytesReceived += int64(len(data))
+	if !bytes.Equal(data, opts.RangePlain[first:first+n]) {
+		t.result.SilentMismatches++
+		t.result.Errors++
+	}
+	return nil
 }
 
 // clientDecodeSide issues one decode-shaped request (DECODE, VERIFY,

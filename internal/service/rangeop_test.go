@@ -1,0 +1,245 @@
+package service
+
+// READ_RANGE operation tests: round trips against a root archive,
+// cache-warm accounting surfaced through STATS (including the
+// snapshot's JSON shape), name confinement, budget refusals, and the
+// range-mix workload's ground-truth verdicts.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ecc"
+)
+
+// writeTestArchive encodes size random bytes as a v2 (indexed) ARC
+// stream at dir/name and returns the plaintext.
+func writeTestArchive(t *testing.T, dir, name string, size, chunkSize int) []byte {
+	t.Helper()
+	data := make([]byte, size)
+	rand.New(rand.NewSource(int64(size))).Read(data)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := new(core.Engine).NewChunkWriterChoice(f,
+		core.Choice{Config: core.Config{Method: ecc.MethodSECDED, Param: 64}, Threads: 1},
+		core.StreamOptions{ChunkSize: chunkSize, Pipeline: 1, Indexed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestReadRangeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTestArchive(t, dir, "a.arc", 64<<10, 8<<10)
+	_, addr := newTestServer(t, Config{Root: dir})
+	c := dialTest(t, addr)
+	ctx := context.Background()
+
+	// Cold mid-range read spanning a chunk boundary.
+	got, rep, err := c.ReadRange(ctx, "a.arc", 7<<10, 3<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[7<<10:10<<10]) {
+		t.Fatal("ranged bytes differ from the plaintext")
+	}
+	if rep.CorrectedBits != 0 {
+		t.Fatalf("pristine archive reported corrections: %+v", rep)
+	}
+
+	// Warm repeat: same window, served from the decoded-chunk cache.
+	got, _, err = c.ReadRange(ctx, "a.arc", 7<<10, 3<<10)
+	if err != nil || !bytes.Equal(got, data[7<<10:10<<10]) {
+		t.Fatalf("warm ranged read: %v", err)
+	}
+
+	// A range running past the end returns the existing tail.
+	got, _, err = c.ReadRange(ctx, "a.arc", 63<<10, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[63<<10:]) {
+		t.Fatalf("tail read returned %d bytes", len(got))
+	}
+
+	// A wholly out-of-range window is empty, not an error.
+	got, _, err = c.ReadRange(ctx, "a.arc", 1<<20, 16)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("past-end read = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestReadRangeRefusals(t *testing.T) {
+	dir := t.TempDir()
+	writeTestArchive(t, dir, "a.arc", 16<<10, 8<<10)
+	// An unprotected sibling outside the root must stay unreachable.
+	if err := os.WriteFile(filepath.Join(dir, "..", "escape.arc"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := newTestServer(t, Config{Root: dir, MaxPayload: 1 << 20})
+	c := dialTest(t, addr)
+	ctx := context.Background()
+
+	for name, off := range map[string]int64{
+		"../escape.arc": 0, // traversal
+		"missing.arc":   0, // nonexistent
+		"":              0, // empty name (refused at parse)
+	} {
+		if _, _, err := c.ReadRange(ctx, name, off, 16); !isStatus(err, StatusBadRequest) {
+			t.Fatalf("name %q: err = %v, want bad-request", name, err)
+		}
+	}
+
+	// A window larger than the response budget is refused up front.
+	if _, _, err := c.ReadRange(ctx, "a.arc", 0, 1<<20); !isStatus(err, StatusBadRequest) {
+		t.Fatal("over-budget window accepted")
+	}
+
+	// A server with no root refuses the op entirely.
+	_, addr2 := newTestServer(t, Config{})
+	c2 := dialTest(t, addr2)
+	if _, _, err := c2.ReadRange(ctx, "a.arc", 0, 16); !isStatus(err, StatusBadRequest) {
+		t.Fatal("rootless server served a ranged read")
+	}
+}
+
+func isStatus(err error, want Status) bool {
+	var re *RemoteErr
+	return errors.As(err, &re) && re.Status == want
+}
+
+func TestStatsSnapshotShape(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTestArchive(t, dir, "a.arc", 32<<10, 8<<10)
+	_, addr := newTestServer(t, Config{Root: dir})
+	c := dialTest(t, addr)
+	ctx := context.Background()
+
+	// One cold and one warm read so both cache counters move.
+	for i := 0; i < 2; i++ {
+		got, _, err := c.ReadRange(ctx, "a.arc", 1000, 2000)
+		if err != nil || !bytes.Equal(got, data[1000:3000]) {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSON shape is the monitoring contract: spot-check the keys
+	// dashboards scrape rather than round-tripping through the struct.
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	var cacheStats struct {
+		Hits        *int64 `json:"hits"`
+		Misses      *int64 `json:"misses"`
+		Evictions   *int64 `json:"evictions"`
+		Bytes       *int64 `json:"bytes"`
+		BudgetBytes *int64 `json:"budget_bytes"`
+	}
+	if err := json.Unmarshal(snap["cache"], &cacheStats); err != nil {
+		t.Fatalf("stats payload lacks a cache object: %v", err)
+	}
+	for k, v := range map[string]*int64{
+		"hits": cacheStats.Hits, "misses": cacheStats.Misses,
+		"evictions": cacheStats.Evictions, "bytes": cacheStats.Bytes,
+		"budget_bytes": cacheStats.BudgetBytes,
+	} {
+		if v == nil {
+			t.Fatalf("cache object lacks %q", k)
+		}
+	}
+	if *cacheStats.Hits == 0 || *cacheStats.Misses == 0 {
+		t.Fatalf("cache counters did not move: hits=%d misses=%d", *cacheStats.Hits, *cacheStats.Misses)
+	}
+	var latency struct {
+		P50 *float64 `json:"p50_ms"`
+		P99 *float64 `json:"p99_ms"`
+	}
+	if err := json.Unmarshal(snap["latency"], &latency); err != nil {
+		t.Fatal(err)
+	}
+	if latency.P50 == nil || latency.P99 == nil {
+		t.Fatal("latency object lacks p50_ms/p99_ms")
+	}
+	var ops []struct {
+		Name     string `json:"name"`
+		Requests int64  `json:"requests"`
+	}
+	if err := json.Unmarshal(snap["ops"], &ops); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range ops {
+		if op.Name == "read-range" && op.Requests == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ops lack a read-range row with 2 requests: %s", raw)
+	}
+
+	// A rootless server's snapshot omits the cache object entirely.
+	_, addr2 := newTestServer(t, Config{})
+	c2 := dialTest(t, addr2)
+	raw2, err := c2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap2 map[string]json.RawMessage
+	if err := json.Unmarshal(raw2, &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap2["cache"]; ok {
+		t.Fatal("rootless server advertises cache counters")
+	}
+}
+
+func TestWorkloadRangeMix(t *testing.T) {
+	dir := t.TempDir()
+	data := writeTestArchive(t, dir, "load.arc", 128<<10, 16<<10)
+	_, addr := newTestServer(t, Config{Root: dir, CacheBytes: 48 << 10}) // ~3 chunks: force churn
+	res, err := RunWorkload(context.Background(), WorkloadOptions{
+		Addr:         addr,
+		Clients:      4,
+		Requests:     40,
+		RangeRatio:   0.5,
+		RangeArchive: "load.arc",
+		RangePlain:   data,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RangeReads == 0 {
+		t.Fatal("range mix issued no ranged reads")
+	}
+	if res.Errors != 0 || res.SilentMismatches != 0 {
+		t.Fatalf("range workload unhealthy: errors=%d mismatches=%d", res.Errors, res.SilentMismatches)
+	}
+	if res.Requests != 4*40 {
+		t.Fatalf("requests = %d, want %d", res.Requests, 4*40)
+	}
+}

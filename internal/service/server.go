@@ -7,10 +7,15 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/ecc"
 	"repro/internal/metrics"
@@ -40,6 +45,13 @@ type Config struct {
 	// Default is the encode configuration used when a request carries
 	// method 0. The zero value selects SEC-DED over 64-bit blocks.
 	Default core.Config
+	// Root, when non-empty, is the directory whose ARC archives
+	// READ_RANGE requests may address by bare file name. Empty
+	// disables the operation.
+	Root string
+	// CacheBytes is the decoded-chunk cache budget shared by every
+	// archive opened for READ_RANGE (<= 0 selects the cache default).
+	CacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -92,18 +104,40 @@ type Server struct {
 	ln    net.Listener
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup // accept loop + one handler per connection
+
+	// READ_RANGE state (cache is nil when no Root is configured).
+	// Archives open lazily on first request and stay open — with their
+	// decoded chunks cached under a per-archive key — until the server
+	// stops.
+	cache    *cache.Cache
+	archMu   sync.Mutex
+	archives map[string]*archive
+	archSeq  atomic.Uint64 // cache-key allocator
+	archOnce sync.Once     // guards closeArchives
+}
+
+// archive is one lazily opened ARC file served by READ_RANGE.
+type archive struct {
+	f  *os.File
+	rr *core.RangeReader
 }
 
 // New creates an unstarted server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		stats:  metrics.NewLive(OpNames()...),
 		budget: make(chan struct{}, cfg.Workers),
 		quit:   make(chan struct{}),
 		conns:  make(map[net.Conn]struct{}),
 	}
+	if cfg.Root != "" {
+		s.cache = cache.New(cfg.CacheBytes)
+		s.archives = make(map[string]*archive)
+		s.stats.SetCacheSource(s.cache.Stats)
+	}
+	return s
 }
 
 // ErrServerClosed reports Serve/Listen on a server that was shut down.
@@ -382,8 +416,111 @@ func (s *Server) process(req request) response {
 		}
 		resp.status = StatusOK
 		resp.payload = b
+	case OpReadRange:
+		s.processReadRange(req, &resp)
 	}
 	return resp
+}
+
+// validArchiveName rejects anything but a bare file name: READ_RANGE
+// must never address outside the configured root.
+func validArchiveName(name string) error {
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\\x00") {
+		return fmt.Errorf("service: invalid archive name %q", name)
+	}
+	return nil
+}
+
+// archive returns the open reader for name, opening it on first use.
+// File and index I/O run outside archMu so a slow open never blocks
+// requests for already-open archives; a racing duplicate open loses
+// the insert and closes its handles.
+func (s *Server) archive(name string) (*archive, error) {
+	if err := validArchiveName(name); err != nil {
+		return nil, err
+	}
+	s.archMu.Lock()
+	a, ok := s.archives[name]
+	s.archMu.Unlock()
+	if ok {
+		return a, nil
+	}
+	f, err := os.Open(filepath.Join(s.cfg.Root, name))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		_ = f.Close() // error path: the stat error wins
+		return nil, err
+	}
+	rr, err := core.OpenRangeReader(f, fi.Size(), core.RangeOptions{
+		Workers:  s.cfg.Threads,
+		Pipeline: s.cfg.perConnWorkers(),
+		Cache:    s.cache,
+		CacheKey: s.archSeq.Add(1),
+	})
+	if err != nil {
+		_ = f.Close() // error path: the open error wins
+		return nil, err
+	}
+	a = &archive{f: f, rr: rr}
+	s.archMu.Lock()
+	if ex, ok := s.archives[name]; ok {
+		s.archMu.Unlock()
+		_ = rr.Close() // lost the race; shared cache unaffected
+		_ = f.Close()
+		return ex, nil
+	}
+	s.archives[name] = a
+	s.archMu.Unlock()
+	return a, nil
+}
+
+// processReadRange decodes (and repairs) one byte range of a root
+// archive. The response is a Report followed by the decoded bytes —
+// fewer than requested when the range runs past the archive's end.
+func (s *Server) processReadRange(req request, resp *response) {
+	if s.cache == nil {
+		resp.status = StatusBadRequest
+		resp.payload = []byte("server has no archive root configured")
+		return
+	}
+	name, first, n, err := ParseReadRangeRequest(req.payload)
+	if err != nil {
+		resp.status = StatusBadRequest
+		resp.payload = []byte(err.Error())
+		return
+	}
+	if n > int64(s.cfg.MaxPayload-reportLen) {
+		resp.status = StatusBadRequest
+		resp.payload = []byte(fmt.Sprintf("range of %d bytes exceeds the response frame budget (%d)", n, s.cfg.MaxPayload-reportLen))
+		return
+	}
+	a, err := s.archive(name)
+	if err != nil {
+		resp.status = StatusBadRequest
+		resp.payload = []byte(err.Error())
+		return
+	}
+	dst := make([]byte, n)
+	got, rep, err := a.rr.ReadRange(dst, first, n)
+	if rep.Chunks > 0 || err != nil {
+		s.stats.RepairObserved(rep.DetectedBlocks, rep.CorrectedBits, rep.CorrectedBlocks,
+			err != nil && !errors.Is(err, io.EOF))
+	}
+	if err != nil && !errors.Is(err, io.EOF) {
+		resp.status, resp.payload = decodeFailure(err)
+		return
+	}
+	resp.status = StatusOK
+	out := AppendReport(nil, Report{
+		DetectedBlocks:  rep.DetectedBlocks,
+		CorrectedBits:   rep.CorrectedBits,
+		CorrectedBlocks: rep.CorrectedBlocks,
+	})
+	resp.payload = append(out, dst[:got]...)
 }
 
 // chooseConfig resolves a request's method/param prefix, falling back
@@ -491,12 +628,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeArchives()
 		return nil
 	case <-ctx.Done():
 		s.closeConns()
 		<-done
+		s.closeArchives()
 		return ctx.Err()
 	}
+}
+
+// closeArchives tears down READ_RANGE state after every handler has
+// exited: no request can be mid-read, so readers and files close
+// cleanly. Closing the shared cache also drops every decoded chunk.
+func (s *Server) closeArchives() {
+	s.archOnce.Do(func() {
+		if s.cache == nil {
+			return
+		}
+		s.archMu.Lock()
+		defer s.archMu.Unlock()
+		for name, a := range s.archives {
+			_ = a.rr.Close() // RangeReader.Close never fails
+			_ = a.f.Close()  // read-only handle; nothing to flush
+			delete(s.archives, name)
+		}
+		_ = s.cache.Close() // Close on a cache never fails
+	})
 }
 
 // Close stops the server immediately: listener and connections are
@@ -507,6 +665,7 @@ func (s *Server) Close() error {
 	s.beginQuit()
 	s.closeConns()
 	s.wg.Wait()
+	s.closeArchives()
 	return nil
 }
 

@@ -22,9 +22,11 @@ import (
 type StreamReport = core.Report
 
 // StreamOptions tunes chunked streaming: ChunkSize is the plaintext
-// bytes per chunk (<= 0 selects the 4 MiB default) and Pipeline bounds
+// bytes per chunk (<= 0 selects the 4 MiB default), Pipeline bounds
 // how many chunks are processed concurrently (1 = strictly sequential,
-// <= 0 = bounded by the worker budget).
+// <= 0 = bounded by the worker budget), and Indexed appends the
+// container v2 footer index enabling ReaderAt random access (see
+// docs/CONTAINER.md).
 type StreamOptions = core.StreamOptions
 
 // Writer is a streaming ARC encoder. Bytes written are buffered into

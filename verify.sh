@@ -71,6 +71,13 @@ go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -benchmem -count=1 . | 
 go run ./cmd/benchmeta kernels < /tmp/arc_bench_kernels.txt > BENCH_kernels.json
 echo "wrote BENCH_kernels.json"
 
+echo "== seek bench (recorded to BENCH_seek.json) =="
+go test -run '^$' -bench 'BenchmarkSeek' -benchtime=1s -benchmem -count=1 . | tee /tmp/arc_bench_seek.txt
+# benchmeta enforces the ranged-read speedup floors: cold range vs
+# sequential full decode, warm (cached) range vs cold.
+go run ./cmd/benchmeta seek < /tmp/arc_bench_seek.txt > BENCH_seek.json
+echo "wrote BENCH_seek.json"
+
 echo "== service smoke (arcd + arcload with fault injection, recorded to BENCH_service.json) =="
 # Boot a real daemon on an ephemeral port, hammer it with a corrupting
 # workload, and gate the result: every within-budget corruption must be
@@ -88,7 +95,15 @@ cleanup_service() {
 trap cleanup_service EXIT
 go build -o "$service_tmp/arcd" ./cmd/arcd
 go build -o "$service_tmp/arcload" ./cmd/arcload
-"$service_tmp/arcd" -addr 127.0.0.1:0 -addrfile "$service_tmp/arcd.addr" &
+go build -o "$service_tmp/arc" ./cmd/arc
+# A root archive so the smoke also exercises READ_RANGE: plaintext
+# ground truth plus its v2 encoding served from the daemon's -root.
+mkdir "$service_tmp/root"
+dd if=/dev/urandom of="$service_tmp/plain.bin" bs=65536 count=4 2>/dev/null
+"$service_tmp/arc" encode -in "$service_tmp/plain.bin" \
+    -out "$service_tmp/root/data.arc" -chunk-kb 32 -ecc secded
+"$service_tmp/arcd" -addr 127.0.0.1:0 -addrfile "$service_tmp/arcd.addr" \
+    -root "$service_tmp/root" -cache-mb 4 &
 arcd_pid=$!
 i=0
 while [ ! -f "$service_tmp/arcd.addr" ]; do
@@ -101,6 +116,7 @@ while [ ! -f "$service_tmp/arcd.addr" ]; do
 done
 "$service_tmp/arcload" -addr "$(cat "$service_tmp/arcd.addr")" \
     -clients 4 -requests 40 -max-size 65536 -corrupt 0.5 -seed 1 \
+    -range-archive data.arc -range-file "$service_tmp/plain.bin" -range-ratio 0.3 \
     > "$service_tmp/workload.json"
 go run ./cmd/benchmeta service < "$service_tmp/workload.json" > BENCH_service.json
 kill -TERM "$arcd_pid"
@@ -109,7 +125,7 @@ arcd_pid=""
 echo "wrote BENCH_service.json"
 
 echo "== fuzz smoke (10s per target) =="
-for target in FuzzContainerDecode FuzzSZDecompress FuzzSZDecodeCorruptHeader FuzzZFPDecompress FuzzZFPDecodeCorruptHeader FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined FuzzBitIORoundTrip; do
+for target in FuzzContainerDecode FuzzSZDecompress FuzzSZDecodeCorruptHeader FuzzZFPDecompress FuzzZFPDecodeCorruptHeader FuzzHuffmanTable FuzzStreamReader FuzzStreamReaderPipelined FuzzIndexDecode FuzzBitIORoundTrip; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 10s .
 done
 
