@@ -1,5 +1,5 @@
 // Command arcvet runs this repository's static-analysis suite:
-// fourteen repo-specific analyzers over type-checked packages, built
+// fifteen repo-specific analyzers over type-checked packages, built
 // entirely on the standard library (see internal/analysis and
 // docs/STATIC_ANALYSIS.md). Packages are analyzed in topological
 // import order, so facts exported about a dependency's functions
@@ -8,7 +8,8 @@
 //
 // Usage:
 //
-//	arcvet [-format text|json|sarif] [-analyzers a,b] [-list] [packages...]
+//	arcvet [-format text|json|sarif] [-analyzers a,b] [-list]
+//	       [-cache-dir dir] [-waivercheck] [-timing file] [packages...]
 //
 // Package patterns are directories relative to the module root, with
 // "./..." (the default) expanding recursively. Findings print as
@@ -21,6 +22,16 @@
 // when clean, 1 when findings are reported, and 2 on usage or load
 // errors.
 //
+// -cache-dir enables the incremental fact cache: packages whose
+// content key (own sources plus transitive module-local imports) is
+// unchanged replay their facts, call-graph slice, and findings from
+// disk instead of being re-analyzed. -timing writes a small JSON
+// record of the run (wall time, live/cached unit counts, a findings
+// hash) for benchmarking the cache. -waivercheck additionally reports
+// //arcvet:ignore directives that suppressed nothing; it requires the
+// full analyzer set, since a subset run would misread waivers for the
+// skipped analyzers as stale.
+//
 // Individual findings are waived inline with
 //
 //	//arcvet:ignore <analyzer> <justification>
@@ -31,14 +42,54 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 )
+
+// timingRecord is the -timing output: enough for cmd/benchmeta to
+// gate the incremental cache (warm runs must replay everything and
+// reproduce the cold run's findings at a real speedup).
+type timingRecord struct {
+	Schema       string  `json:"schema"`
+	WallMs       float64 `json:"wall_ms"`
+	Packages     int     `json:"packages"`
+	LiveUnits    int     `json:"live_units"`
+	CachedUnits  int     `json:"cached_units"`
+	Findings     int     `json:"findings"`
+	FindingsHash string  `json:"findings_hash"`
+}
+
+// writeTiming records the run's shape. The findings hash covers every
+// diagnostic's position, analyzer, and message, so equal hashes mean
+// equal findings.
+func writeTiming(path string, wall time.Duration, res *analysis.Result) error {
+	h := sha256.New()
+	for _, d := range res.Diagnostics {
+		_, _ = fmt.Fprintf(h, "%s:%d:%d:%s:%s\n", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	rec := timingRecord{
+		Schema:       "arcvet-timing-v1",
+		WallMs:       float64(wall.Microseconds()) / 1000,
+		Packages:     res.Packages,
+		LiveUnits:    res.Stats.LiveUnits,
+		CachedUnits:  res.Stats.CachedUnits,
+		Findings:     len(res.Diagnostics),
+		FindingsHash: hex.EncodeToString(h.Sum(nil)),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -59,6 +110,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	subset := fs.String("analyzers", "", "comma-separated analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	cacheDir := fs.String("cache-dir", "", "directory for the incremental fact cache (empty: no caching)")
+	waiverCheck := fs.Bool("waivercheck", false, "report stale //arcvet:ignore directives (requires the full analyzer set)")
+	timing := fs.String("timing", "", "write a JSON timing record of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,6 +148,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
+	if *waiverCheck && names != "" {
+		say(stderr, "arcvet: -waivercheck requires the full analyzer set; drop -analyzers/-only\n")
+		return 2
+	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		say(stderr, "arcvet: %v\n", err)
@@ -109,10 +167,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		say(stderr, "arcvet: %v\n", err)
 		return 2
 	}
-	res, err := analysis.Run(loader, dirs, analyzers)
+	start := time.Now()
+	res, err := analysis.RunWith(loader, dirs, analyzers, analysis.Options{
+		CacheDir:    *cacheDir,
+		WaiverCheck: *waiverCheck,
+	})
+	wall := time.Since(start)
 	if err != nil {
 		say(stderr, "arcvet: %v\n", err)
 		return 2
+	}
+	if *timing != "" {
+		if err := writeTiming(*timing, wall, res); err != nil {
+			say(stderr, "arcvet: %v\n", err)
+			return 2
+		}
 	}
 	switch *format {
 	case "json":

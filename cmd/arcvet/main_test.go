@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +23,8 @@ func TestRunExitCodes(t *testing.T) {
 		{"unknown format", []string{"-format", "xml"}, 2},
 		{"json conflicts with sarif", []string{"-json", "-format", "sarif"}, 2},
 		{"only and analyzers disagree", []string{"-only", "bitwidth", "-analyzers", "deadwait"}, 2},
+		{"waivercheck with subset", []string{"-waivercheck", "-analyzers", "bitwidth", "."}, 2},
+		{"waivercheck with only", []string{"-waivercheck", "-only", "bitwidth", "."}, 2},
 		// The driver's own directory must be clean, via all renderers.
 		{"self text", []string{"-only", "uncheckederr", "."}, 0},
 		{"self json", []string{"-json", "-only", "bitwidth", "."}, 0},
@@ -31,6 +36,65 @@ func TestRunExitCodes(t *testing.T) {
 				t.Fatalf("run(%v) = %d, want %d", tc.args, got, tc.want)
 			}
 		})
+	}
+}
+
+// TestUnknownAnalyzerListsValidNames pins the -analyzers typo
+// experience: the error must exit 2 and name every valid analyzer so
+// the fix does not require a second -list invocation.
+func TestUnknownAnalyzerListsValidNames(t *testing.T) {
+	var errOut bytes.Buffer
+	if got := run([]string{"-analyzers", "nosuch", "."}, io.Discard, &errOut); got != 2 {
+		t.Fatalf("run = %d, want 2", got)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr %q does not identify the unknown name", msg)
+	}
+	for _, want := range []string{"integrityflow", "uncheckederr", "panicfact", "lockorder"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr %q does not list valid analyzer %q", msg, want)
+		}
+	}
+}
+
+// TestTimingAndCacheFlags runs the same directory cold then warm
+// through a temp cache and checks the -timing records show a full
+// replay with identical findings.
+func TestTimingAndCacheFlags(t *testing.T) {
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	coldPath := filepath.Join(t.TempDir(), "cold.json")
+	warmPath := filepath.Join(t.TempDir(), "warm.json")
+	read := func(path string) timingRecord {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec timingRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	if got := run([]string{"-cache-dir", cacheDir, "-timing", coldPath, "."}, io.Discard, io.Discard); got != 0 {
+		t.Fatalf("cold run = %d, want 0", got)
+	}
+	if got := run([]string{"-cache-dir", cacheDir, "-timing", warmPath, "."}, io.Discard, io.Discard); got != 0 {
+		t.Fatalf("warm run = %d, want 0", got)
+	}
+	cold, warm := read(coldPath), read(warmPath)
+	if cold.Schema != "arcvet-timing-v1" || warm.Schema != "arcvet-timing-v1" {
+		t.Fatalf("bad schema: cold %q warm %q", cold.Schema, warm.Schema)
+	}
+	if cold.LiveUnits == 0 || cold.CachedUnits != 0 {
+		t.Errorf("cold run: live=%d cached=%d, want all live", cold.LiveUnits, cold.CachedUnits)
+	}
+	if warm.LiveUnits != 0 || warm.CachedUnits != cold.LiveUnits {
+		t.Errorf("warm run: live=%d cached=%d, want 0/%d", warm.LiveUnits, warm.CachedUnits, cold.LiveUnits)
+	}
+	if warm.FindingsHash != cold.FindingsHash {
+		t.Errorf("findings hash changed across warm replay: %s vs %s", cold.FindingsHash, warm.FindingsHash)
 	}
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -223,6 +225,91 @@ func TestSeekGateFailsWhenBenchMissing(t *testing.T) {
 	err := runSeek(strings.NewReader(strings.Join(lines, "\n")), &out, &errw)
 	if err == nil || !strings.Contains(err.Error(), "missing BenchmarkSeek/range_warm") {
 		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
+// writeTimingFile drops an arcvet -timing record into a temp file and
+// returns its path.
+func writeTimingFile(t *testing.T, rec arcvetTiming) string {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "timing.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func arcvetSampleTimings() (cold, warm arcvetTiming) {
+	cold = arcvetTiming{
+		Schema: "arcvet-timing-v1", WallMs: 3400, Packages: 40,
+		LiveUnits: 50, CachedUnits: 0, Findings: 0, FindingsHash: "abc123",
+	}
+	warm = arcvetTiming{
+		Schema: "arcvet-timing-v1", WallMs: 140, Packages: 40,
+		LiveUnits: 0, CachedUnits: 50, Findings: 0, FindingsHash: "abc123",
+	}
+	return cold, warm
+}
+
+func TestArcvetArtifactAndGate(t *testing.T) {
+	cold, warm := arcvetSampleTimings()
+	var out, errw bytes.Buffer
+	err := runArcvet([]string{writeTimingFile(t, cold), writeTimingFile(t, warm)}, &out, &errw)
+	if err != nil {
+		t.Fatalf("gate should pass on sample: %v", err)
+	}
+	var art arcvetArtifact
+	if err := json.Unmarshal(out.Bytes(), &art); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got := art.Speedups["WarmVsCold"]; got < 24 || got > 25 {
+		t.Errorf("WarmVsCold = %v, want ~24.29", got)
+	}
+	if art.Targets["WarmVsCold_min"] != arcvetWarmSpeedupMin {
+		t.Errorf("targets = %v", art.Targets)
+	}
+	if art.Cold.LiveUnits != 50 || art.Warm.CachedUnits != 50 {
+		t.Errorf("timing records not embedded: %+v", art)
+	}
+	if !strings.Contains(errw.String(), "arcvet gate OK") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestArcvetGateFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		warp func(cold, warm *arcvetTiming)
+		want string
+	}{
+		{"warm run analyzed units", func(_, w *arcvetTiming) { w.LiveUnits = 3 }, "re-analyzed 3 units"},
+		{"findings diverge", func(_, w *arcvetTiming) { w.FindingsHash = "zzz" }, "diverges"},
+		{"speedup under floor", func(_, w *arcvetTiming) { w.WallMs = 1700 }, "need 5x"},
+		{"cold already warm", func(c, _ *arcvetTiming) { c.LiveUnits = 0 }, "analyzed nothing"},
+		{"bad schema", func(c, _ *arcvetTiming) { c.Schema = "v0" }, "want arcvet-timing-v1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cold, warm := arcvetSampleTimings()
+			tc.warp(&cold, &warm)
+			var out, errw bytes.Buffer
+			err := runArcvet([]string{writeTimingFile(t, cold), writeTimingFile(t, warm)}, &out, &errw)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestArcvetGateWantsTwoFiles(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := runArcvet([]string{"only-one.json"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "two file arguments") {
+		t.Fatalf("err = %v, want usage failure", err)
 	}
 }
 

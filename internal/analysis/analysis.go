@@ -153,7 +153,11 @@ func ByName(names string) ([]*Analyzer, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+			var valid []string
+			for _, a := range All() {
+				valid = append(valid, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (valid analyzers: %s)", name, strings.Join(valid, ", "))
 		}
 	}
 	return out, nil

@@ -382,8 +382,8 @@ func f() {
 
 func TestByName(t *testing.T) {
 	all, err := analysis.ByName("")
-	if err != nil || len(all) != 14 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 14", len(all), err)
+	if err != nil || len(all) != 15 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full set of 15", len(all), err)
 	}
 	two, err := analysis.ByName("bitwidth, mathbits")
 	if err != nil || len(two) != 2 {

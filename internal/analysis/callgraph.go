@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // CGNode is one function in the whole-repo call graph. Calls made
@@ -17,6 +18,19 @@ type CGNode struct {
 	Fn   *types.Func // nil for nodes only ever seen as callees
 	Decl *ast.FuncDecl
 	Pos  token.Pos
+	// The fields below duplicate what Finish phases need from Fn/Decl
+	// in a serializable form, so nodes replayed from the incremental
+	// cache (where no live type info exists) behave identically.
+	// HasDecl marks a node whose declaration was seen in a loaded
+	// unit; Name/Exported/IsMethod/TestFile are only meaningful then.
+	HasDecl  bool
+	Name     string
+	Exported bool
+	IsMethod bool
+	TestFile bool
+	// Position is the resolved declaration position (zero for
+	// callee-only nodes).
+	Position token.Position
 	// HasRecover marks a function with a top-level deferred recover:
 	// panics raised anywhere below it are absorbed, so panic facts
 	// must not propagate through it.
@@ -89,15 +103,26 @@ func (g *CallGraph) edge(from, to string) {
 // method node links to the matching method of every module-local
 // named type that implements the interface, so panic and taint facts
 // flow through dynamic dispatch instead of vanishing at it.
-func BuildCallGraph(units []*Unit) *CallGraph {
+func BuildCallGraph(fset *token.FileSet, units []*Unit) *CallGraph {
 	g := &CallGraph{nodes: map[string]*CGNode{}}
+	g.addUnits(fset, units, nil)
+	g.finalize()
+	return g
+}
+
+// addUnits collects declarations and call edges from units into g.
+// extraTypes widens the CHA concrete-type pool beyond the units' own
+// package scopes — the incremental driver passes the scopes of
+// type-checked dependency packages so interface calls in re-analyzed
+// units still resolve to implementations declared elsewhere.
+func (g *CallGraph) addUnits(fset *token.FileSet, units []*Unit, extraTypes []types.Type) {
 	type ifaceCall struct {
 		iface  *types.Interface
 		method *types.Func
 	}
 	var abstract []ifaceCall
 	seenAbstract := map[string]bool{}
-	var concrete []types.Type
+	concrete := append([]types.Type(nil), extraTypes...)
 
 	for _, unit := range units {
 		// Every exported named type is an implementation candidate
@@ -121,6 +146,14 @@ func BuildCallGraph(units []*Unit) *CallGraph {
 				caller := FuncKey(fn)
 				node := g.node(caller)
 				node.Fn, node.Decl, node.Pos = fn, fd, fd.Pos()
+				node.HasDecl = true
+				node.Name = fn.Name()
+				node.Exported = fn.Exported()
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					node.IsMethod = true
+				}
+				node.Position = fset.Position(fd.Pos())
+				node.TestFile = strings.HasSuffix(node.Position.Filename, "_test.go")
 				node.HasRecover = hasRecoverGuard(unit.Info, fd.Body)
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					call, ok := n.(*ast.CallExpr)
@@ -161,14 +194,19 @@ func BuildCallGraph(units []*Unit) *CallGraph {
 			}
 		}
 	}
+}
 
-	// Finalize sorted edge lists and back-edges.
+// finalize freezes the edge maps into sorted Callees lists and
+// computes the Callers back-edges. Call once, after every unit (live
+// or replayed from cache) has contributed its edges.
+func (g *CallGraph) finalize() {
 	for _, n := range g.nodes {
 		n.Callees = make([]string, 0, len(n.callees))
 		for k := range n.callees {
 			n.Callees = append(n.Callees, k)
 		}
 		sort.Strings(n.Callees)
+		n.Callers = nil
 	}
 	for _, key := range g.Keys() {
 		for _, callee := range g.nodes[key].Callees {
@@ -178,7 +216,6 @@ func BuildCallGraph(units []*Unit) *CallGraph {
 	for _, n := range g.nodes {
 		sort.Strings(n.Callers)
 	}
-	return g
 }
 
 // hasRecoverGuard reports whether body defers a call that invokes

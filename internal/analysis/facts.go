@@ -49,6 +49,43 @@ func FuncKey(f *types.Func) string {
 // FuncKey then fact name.
 type FactStore struct {
 	m map[string]map[string]Fact
+
+	// journal, when non-nil, receives every export/delete in order.
+	// The incremental driver points it at the current unit's op list
+	// so the unit's fact activity can be replayed from cache.
+	journal *[]factOp
+}
+
+// factOp is one journaled store mutation.
+type factOp struct {
+	Del  bool            `json:"del,omitempty"`
+	Key  string          `json:"func"`
+	Name string          `json:"fact"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// setJournal directs subsequent ops into dst (nil stops recording).
+func (s *FactStore) setJournal(dst *[]factOp) { s.journal = dst }
+
+// replayOps applies a journaled op sequence, decoding facts through
+// the registered constructors.
+func (s *FactStore) replayOps(ops []factOp) error {
+	for _, op := range ops {
+		if op.Del {
+			s.DeleteKey(op.Key, op.Name)
+			continue
+		}
+		fresh, ok := factTypes[op.Name]
+		if !ok {
+			return fmt.Errorf("unregistered fact type %q", op.Name)
+		}
+		fact := fresh()
+		if err := json.Unmarshal(op.Data, fact); err != nil {
+			return fmt.Errorf("fact %s on %s: %w", op.Name, op.Key, err)
+		}
+		s.ExportKey(op.Key, fact)
+	}
+	return nil
 }
 
 // NewFactStore returns an empty store.
@@ -64,6 +101,13 @@ func (s *FactStore) ExportKey(key string, fact Fact) {
 		s.m[key] = map[string]Fact{}
 	}
 	s.m[key][fact.FactName()] = fact
+	if s.journal != nil {
+		data, err := json.Marshal(fact)
+		if err != nil {
+			data = nil
+		}
+		*s.journal = append(*s.journal, factOp{Key: key, Name: fact.FactName(), Data: data})
+	}
 }
 
 // Export records a fact for fn.
@@ -89,6 +133,9 @@ func (s *FactStore) Import(fn *types.Func, name string) (Fact, bool) {
 // fixpoint round withdraws a previously exported summary.
 func (s *FactStore) DeleteKey(key, name string) {
 	delete(s.m[key], name)
+	if s.journal != nil {
+		*s.journal = append(*s.journal, factOp{Del: true, Key: key, Name: name})
+	}
 }
 
 // Len counts stored facts.

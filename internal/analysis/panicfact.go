@@ -241,7 +241,7 @@ func finishPanicFact(pass *Pass) error {
 			}
 			pass.ReportAt(token.Position{Filename: s.File, Line: s.Line, Column: s.Col},
 				"possible panic (%s) is reachable from exported decoder %s%s without an intervening recover",
-				s.What, node.Fn.Name(), via)
+				s.What, node.Name, via)
 		}
 	}
 	return nil
@@ -249,23 +249,15 @@ func finishPanicFact(pass *Pass) error {
 
 // isDecodeEntry recognizes the exported decoder entry points: a
 // module-local top-level function (not a method) whose name starts
-// with Decompress or Decode, declared outside test files.
+// with Decompress or Decode, declared outside test files. It reads
+// only the node's serializable metadata, so entries replayed from the
+// incremental cache are recognized identically.
 func isDecodeEntry(pass *Pass, node *CGNode) bool {
-	if node == nil || node.Fn == nil || node.Decl == nil || node.HasRecover {
+	if node == nil || !node.HasDecl || node.HasRecover {
 		return false
 	}
-	if !node.Fn.Exported() {
+	if !node.Exported || node.IsMethod || node.TestFile {
 		return false
 	}
-	name := node.Fn.Name()
-	if !strings.HasPrefix(name, "Decompress") && !strings.HasPrefix(name, "Decode") {
-		return false
-	}
-	if sig, ok := node.Fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-		return false
-	}
-	if strings.HasSuffix(pass.Fset.Position(node.Pos).Filename, "_test.go") {
-		return false
-	}
-	return true
+	return strings.HasPrefix(node.Name, "Decompress") || strings.HasPrefix(node.Name, "Decode")
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -12,50 +14,171 @@ import (
 type Result struct {
 	Diagnostics []Diagnostic
 	// Packages counts the units (including external test packages)
-	// that were loaded and checked.
+	// that were loaded and checked or replayed from cache.
 	Packages int
 	// Facts is the run's fact store, exposed for tests and debugging.
 	Facts *FactStore
 	// Graph is the whole-repo call graph.
 	Graph *CallGraph
+	// Stats breaks down how much work the run actually did.
+	Stats RunStats
 }
 
-// Run loads every directory, orders the resulting units
-// topologically by import dependency, builds the call graph and
-// taint summaries, applies the given analyzers unit by unit, then
-// runs each analyzer's Finish phase over the accumulated facts. It
-// returns position-sorted, suppression-filtered diagnostics.
+// RunStats reports the incremental-cache effectiveness of one run.
+type RunStats struct {
+	// Units counts all analysis units; LiveUnits were parsed,
+	// type-checked, and analyzed this run; CachedUnits replayed.
+	Units       int
+	LiveUnits   int
+	CachedUnits int
+	// LiveDirs lists the module-relative directories analyzed live.
+	LiveDirs []string
+}
+
+// Options tunes a driver run.
+type Options struct {
+	// CacheDir, when set, enables the incremental cache: directories
+	// whose content key (own sources plus transitive module-local
+	// deps) matches a stored entry are replayed instead of analyzed.
+	CacheDir string
+	// WaiverCheck reports //arcvet:ignore directives that suppressed
+	// nothing this run. It requires the full analyzer set — with a
+	// subset, waivers for the analyzers not run would read as stale.
+	WaiverCheck bool
+}
+
+// Run analyzes dirs with no cache and no waiver check.
 func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) {
-	res := &Result{}
-	var units []*Unit
-	for _, dir := range dirs {
-		us, err := loader.LoadDir(dir)
+	return RunWith(loader, dirs, analyzers, Options{})
+}
+
+// workUnit is one unit to process: either a live loaded Unit or a
+// replayable cached record.
+type workUnit struct {
+	path    string
+	imports []string
+	dir     string // absolute package directory
+	live    *Unit
+	cached  *cachedUnit
+}
+
+// RunWith loads or replays every directory, orders units
+// topologically by import dependency, builds the call graph and taint
+// summaries, applies the given analyzers unit by unit, then runs each
+// analyzer's Finish phase over the accumulated facts. It returns
+// position-sorted, suppression-filtered diagnostics.
+func RunWith(loader *Loader, dirs []string, analyzers []*Analyzer, opts Options) (*Result, error) {
+	res := &Result{Facts: NewFactStore(), Graph: &CallGraph{nodes: map[string]*CGNode{}}}
+
+	// Content keys decide which directories replay from cache.
+	var keys map[string]string
+	var infos map[string]*dirInfo
+	if opts.CacheDir != "" {
+		var err error
+		infos, err = scanDirs(loader, dirs)
 		if err != nil {
 			return nil, err
 		}
-		units = append(units, us...)
+		keys = computeDirKeys(cacheHeader(loader, analyzers), infos)
 	}
-	res.Packages = len(units)
-	units = topoSortUnits(units)
 
-	res.Graph = BuildCallGraph(units)
-	res.Facts = NewFactStore()
+	var work []*workUnit
+	liveByDir := map[string][]*workUnit{}
+	cachedDirs := map[string]*cacheEntry{}
+	for _, dir := range dirs {
+		abs := dir
+		if infos != nil {
+			if info := infos[absPath(dir)]; info != nil {
+				abs = info.Dir
+				if ent := loadCacheEntry(opts.CacheDir, info.Rel, keys[abs]); ent != nil {
+					cachedDirs[abs] = ent
+					for i := range ent.Units {
+						cu := &ent.Units[i]
+						work = append(work, &workUnit{path: cu.Path, imports: cu.Imports, dir: abs, cached: cu})
+					}
+					continue
+				}
+			}
+		}
+		units, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, u := range units {
+			w := &workUnit{path: u.Path, imports: importPaths(u), dir: abs, live: u}
+			work = append(work, w)
+			liveByDir[abs] = append(liveByDir[abs], w)
+		}
+		if opts.CacheDir != "" && liveByDir[abs] == nil {
+			// A dir with no buildable files still earns an (empty)
+			// entry so warm runs skip re-scanning its sources.
+			liveByDir[abs] = []*workUnit{}
+		}
+	}
+	work = topoSortWork(work)
+	res.Packages = len(work)
+	res.Stats.Units = len(work)
 
-	// Suppression directives and statement spans come from every
-	// unit up front: Finish-phase diagnostics may land in any file.
+	// The CHA pool for per-unit call-graph construction: every live
+	// unit's package scope plus every dependency package the loader
+	// type-checked. Implementations living in cached packages that no
+	// live unit imports are approximated by the cached subgraph edges.
+	var extraTypes []types.Type
+	for _, w := range work {
+		if w.live != nil {
+			extraTypes = append(extraTypes, scopeTypes(w.live.Pkg)...)
+		}
+	}
+	for _, pkg := range loader.deps {
+		extraTypes = append(extraTypes, scopeTypes(pkg)...)
+	}
+
 	sup := suppressions{}
-	spans := newStmtSpans(loader.Fset)
-	var bad []Diagnostic
-	for _, unit := range units {
-		b := collectSuppressions(loader, unit.Files, sup)
-		bad = append(bad, b...)
-		spans.add(unit.Files)
-	}
-	res.Diagnostics = append(res.Diagnostics, bad...)
+	spans := newStmtSpans()
+	var waiverRecs []suppRecord
+	var badDiags []Diagnostic
+	var rawDiags []Diagnostic
+	capture := map[string][]cachedUnit{}
 
-	var diags []Diagnostic
-	for _, unit := range units {
+	for _, w := range work {
+		if w.cached != nil {
+			cu := w.cached
+			if err := res.Facts.replayOps(cu.FactOps); err != nil {
+				return nil, fmt.Errorf("cache replay %s: %w", w.path, err)
+			}
+			res.Graph.mergeCached(cu.Nodes)
+			res.Graph.finalize()
+			for _, r := range cu.Waivers {
+				sup.add(r)
+			}
+			waiverRecs = append(waiverRecs, cu.Waivers...)
+			spans.merge(cu.Spans)
+			badDiags = append(badDiags, withPos(cu.BadDirectives)...)
+			rawDiags = append(rawDiags, withPos(cu.Diags)...)
+			res.Stats.CachedUnits++
+			continue
+		}
+
+		unit := w.live
+		recs, bad := collectSuppressions(loader, unit.Files)
+		for _, r := range recs {
+			sup.add(r)
+		}
+		waiverRecs = append(waiverRecs, recs...)
+		unitSpans := collectSpans(loader.Fset, unit.Files)
+		spans.merge(unitSpans)
+		badDiags = append(badDiags, bad...)
+
+		var ops []factOp
+		res.Facts.setJournal(&ops)
 		summarizeUnitTaint(loader.Fset, unit, res.Facts)
+
+		ug := &CallGraph{nodes: map[string]*CGNode{}}
+		ug.addUnits(loader.Fset, []*Unit{unit}, extraTypes)
+		res.Graph.mergeLive(ug)
+		res.Graph.finalize()
+
+		var unitDiags []Diagnostic
 		for _, a := range analyzers {
 			if !a.AppliesTo(unit.Path) {
 				continue
@@ -69,13 +192,33 @@ func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) 
 				PkgPath:  unit.Path,
 				Facts:    res.Facts,
 				Graph:    res.Graph,
-				diags:    &diags,
+				diags:    &unitDiags,
 			}
 			if err := a.Run(pass); err != nil {
+				res.Facts.setJournal(nil)
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, unit.Path, err)
 			}
 		}
+		res.Facts.setJournal(nil)
+		rawDiags = append(rawDiags, unitDiags...)
+		res.Stats.LiveUnits++
+
+		if opts.CacheDir != "" {
+			capture[w.dir] = append(capture[w.dir], cachedUnit{
+				Path:          unit.Path,
+				Imports:       w.imports,
+				Diags:         flattened(unitDiags),
+				BadDirectives: flattened(bad),
+				FactOps:       ops,
+				Nodes:         snapshotGraph(ug),
+				Waivers:       recs,
+				Spans:         unitSpans,
+			})
+		}
 	}
+	res.Graph.finalize()
+
+	var finishDiags []Diagnostic
 	for _, a := range analyzers {
 		if a.Finish == nil {
 			continue
@@ -85,18 +228,60 @@ func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) 
 			Fset:     loader.Fset,
 			Facts:    res.Facts,
 			Graph:    res.Graph,
-			diags:    &diags,
+			diags:    &finishDiags,
 		}
 		if err := a.Finish(pass); err != nil {
 			return nil, fmt.Errorf("%s finish: %w", a.Name, err)
 		}
 	}
 
-	for _, d := range diags {
-		if !sup.matches(d, spans) {
+	// Persist entries for every live directory (after a fully
+	// successful analysis pass, never mid-run).
+	if opts.CacheDir != "" {
+		for dir, units := range liveByDir {
+			info := infos[dir]
+			if info == nil {
+				continue
+			}
+			cus := make([]cachedUnit, 0, len(units))
+			cus = append(cus, capture[dir]...)
+			if err := writeCacheEntry(opts.CacheDir, info.Rel, keys[dir], cus); err != nil {
+				return nil, fmt.Errorf("cache write %s: %w", info.Rel, err)
+			}
+			res.Stats.LiveDirs = append(res.Stats.LiveDirs, info.Rel)
+		}
+		sort.Strings(res.Stats.LiveDirs)
+	} else {
+		for dir := range liveByDir {
+			res.Stats.LiveDirs = append(res.Stats.LiveDirs, dir)
+		}
+		sort.Strings(res.Stats.LiveDirs)
+	}
+
+	used := map[string]bool{}
+	res.Diagnostics = append(res.Diagnostics, badDiags...)
+	for _, d := range append(rawDiags, finishDiags...) {
+		if !sup.matches(d, spans, used) {
 			res.Diagnostics = append(res.Diagnostics, d)
 		}
 	}
+
+	if opts.WaiverCheck {
+		seen := map[string]bool{}
+		for _, r := range waiverRecs {
+			k := fmt.Sprintf("%s:%d:%s", r.File, r.Line, r.Analyzer)
+			if used[k] || seen[k] {
+				continue
+			}
+			seen[k] = true
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: "waivercheck",
+				Pos:      token.Position{Filename: r.File, Line: r.Line, Column: 1},
+				Message:  fmt.Sprintf("arcvet:ignore %s suppresses nothing here; remove the stale waiver", r.Analyzer),
+			})
+		}
+	}
+
 	for i := range res.Diagnostics {
 		d := &res.Diagnostics[i]
 		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
@@ -117,13 +302,65 @@ func Run(loader *Loader, dirs []string, analyzers []*Analyzer) (*Result, error) 
 	return res, nil
 }
 
-// topoSortUnits orders units so every unit follows the units it
+// absPath resolves dir, swallowing errors (callers fall back to the
+// original string on failure).
+func absPath(dir string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		return abs
+	}
+	return dir
+}
+
+// importPaths lists every import of a live unit.
+func importPaths(u *Unit) []string {
+	var out []string
+	for _, imp := range u.Pkg.Imports() {
+		out = append(out, imp.Path())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scopeTypes collects the named types declared at package scope.
+func scopeTypes(pkg *types.Package) []types.Type {
+	var out []types.Type
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+			out = append(out, tn.Type())
+		}
+	}
+	return out
+}
+
+// flattened copies diags with File/Line/Col mirrored from Pos so the
+// positions survive JSON serialization.
+func flattened(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+		out[i] = d
+	}
+	return out
+}
+
+// withPos reconstructs Pos from the flattened fields after replay.
+func withPos(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		d.Pos = token.Position{Filename: d.File, Line: d.Line, Column: d.Col}
+		out[i] = d
+	}
+	return out
+}
+
+// topoSortWork orders units so every unit follows the units it
 // imports (Kahn's algorithm; ties break on import path so the order
 // is deterministic). External test units depend on their base unit.
-func topoSortUnits(units []*Unit) []*Unit {
+func topoSortWork(units []*workUnit) []*workUnit {
 	index := map[string]int{}
 	for i, u := range units {
-		index[u.Path] = i
+		index[u.path] = i
 	}
 	indeg := make([]int, len(units))
 	dependents := make([][]int, len(units))
@@ -132,12 +369,12 @@ func topoSortUnits(units []*Unit) []*Unit {
 		indeg[from]++
 	}
 	for i, u := range units {
-		for _, imp := range u.Pkg.Imports() {
-			if j, ok := index[imp.Path()]; ok && j != i {
+		for _, imp := range u.imports {
+			if j, ok := index[imp]; ok && j != i {
 				addEdge(i, j)
 			}
 		}
-		if base, ok := strings.CutSuffix(u.Path, "_test"); ok {
+		if base, ok := strings.CutSuffix(u.path, "_test"); ok {
 			if j, ok := index[base]; ok && j != i {
 				addEdge(i, j)
 			}
@@ -149,9 +386,9 @@ func topoSortUnits(units []*Unit) []*Unit {
 			ready = append(ready, i)
 		}
 	}
-	byPath := func(a, b int) bool { return units[a].Path < units[b].Path }
+	byPath := func(a, b int) bool { return units[a].path < units[b].path }
 	sort.Slice(ready, func(i, j int) bool { return byPath(ready[i], ready[j]) })
-	var order []*Unit
+	var order []*workUnit
 	for len(ready) > 0 {
 		i := ready[0]
 		ready = ready[1:]
@@ -171,7 +408,7 @@ func topoSortUnits(units []*Unit) []*Unit {
 	// Import cycles cannot occur in compiled Go; if something slipped
 	// through, keep the leftovers rather than dropping units.
 	if len(order) < len(units) {
-		seen := map[*Unit]bool{}
+		seen := map[*workUnit]bool{}
 		for _, u := range order {
 			seen[u] = true
 		}
@@ -188,29 +425,38 @@ func topoSortUnits(units []*Unit) []*Unit {
 // declaration) so a waiver directive anchored to the first line of a
 // multi-line statement covers findings on its continuation lines.
 type stmtSpans struct {
-	fset  *token.FileSet
 	files map[string][]lineSpan
 }
 
 type lineSpan struct{ start, end int }
 
-func newStmtSpans(fset *token.FileSet) *stmtSpans {
-	return &stmtSpans{fset: fset, files: map[string][]lineSpan{}}
+func newStmtSpans() *stmtSpans {
+	return &stmtSpans{files: map[string][]lineSpan{}}
 }
 
-func (ss *stmtSpans) add(files []*ast.File) {
+// collectSpans extracts the multi-line statement spans of files in a
+// serializable form.
+func collectSpans(fset *token.FileSet, files []*ast.File) []spanRecord {
+	var out []spanRecord
 	for _, file := range files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n.(type) {
 			case ast.Stmt, *ast.GenDecl, *ast.ValueSpec:
-				start := ss.fset.Position(n.Pos())
-				end := ss.fset.Position(n.End())
+				start := fset.Position(n.Pos())
+				end := fset.Position(n.End())
 				if end.Line > start.Line {
-					ss.files[start.Filename] = append(ss.files[start.Filename], lineSpan{start.Line, end.Line})
+					out = append(out, spanRecord{File: start.Filename, Start: start.Line, End: end.Line})
 				}
 			}
 			return true
 		})
+	}
+	return out
+}
+
+func (ss *stmtSpans) merge(recs []spanRecord) {
+	for _, r := range recs {
+		ss.files[r.File] = append(ss.files[r.File], lineSpan{r.Start, r.End})
 	}
 }
 
@@ -242,7 +488,20 @@ func (ss *stmtSpans) stmtStart(file string, line int) int {
 // statement — on the statement's first line or the line above that.
 type suppressions map[string]map[int]map[string]bool
 
-func (s suppressions) matches(d Diagnostic, spans *stmtSpans) bool {
+func (s suppressions) add(r suppRecord) {
+	if s[r.File] == nil {
+		s[r.File] = map[int]map[string]bool{}
+	}
+	if s[r.File][r.Line] == nil {
+		s[r.File][r.Line] = map[string]bool{}
+	}
+	s[r.File][r.Line][r.Analyzer] = true
+}
+
+// matches reports whether d is suppressed; a match also marks the
+// matching directive as used in the used map (key file:line:analyzer)
+// so -waivercheck can report the directives that matched nothing.
+func (s suppressions) matches(d Diagnostic, spans *stmtSpans, used map[string]bool) bool {
 	lines := s[d.Pos.Filename]
 	if lines == nil {
 		return false
@@ -255,6 +514,9 @@ func (s suppressions) matches(d Diagnostic, spans *stmtSpans) bool {
 	}
 	for _, line := range candidates {
 		if names := lines[line]; names != nil && names[d.Analyzer] {
+			if used != nil {
+				used[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, line, d.Analyzer)] = true
+			}
 			return true
 		}
 	}
@@ -262,10 +524,11 @@ func (s suppressions) matches(d Diagnostic, spans *stmtSpans) bool {
 }
 
 // collectSuppressions scans comments for //arcvet:ignore directives,
-// accumulating them into sup. Malformed directives (no analyzer
-// named, or an unknown analyzer) become diagnostics themselves so
+// returning the well-formed directives as records plus diagnostics
+// for malformed ones (no analyzer named, or an unknown analyzer) so
 // waivers stay auditable.
-func collectSuppressions(loader *Loader, files []*ast.File, sup suppressions) []Diagnostic {
+func collectSuppressions(loader *Loader, files []*ast.File) ([]suppRecord, []Diagnostic) {
+	var recs []suppRecord
 	var bad []Diagnostic
 	known := map[string]bool{}
 	for _, a := range All() {
@@ -298,15 +561,9 @@ func collectSuppressions(loader *Loader, files []*ast.File, sup suppressions) []
 					})
 					continue
 				}
-				if sup[pos.Filename] == nil {
-					sup[pos.Filename] = map[int]map[string]bool{}
-				}
-				if sup[pos.Filename][pos.Line] == nil {
-					sup[pos.Filename][pos.Line] = map[string]bool{}
-				}
-				sup[pos.Filename][pos.Line][name] = true
+				recs = append(recs, suppRecord{File: pos.Filename, Line: pos.Line, Analyzer: name})
 			}
 		}
 	}
-	return bad
+	return recs, bad
 }

@@ -503,16 +503,22 @@ func (e *taintEngine) taintIdent(id *ast.Ident, origin string) {
 // rootObj resolves the base identifier of a selector/index/deref
 // chain (h.EncLen -> h, buf[i] -> buf).
 func (e *taintEngine) rootObj(x ast.Expr) types.Object {
+	return rootObjOf(e.info, x)
+}
+
+// rootObjOf is the shared walk behind taintEngine.rootObj, also used
+// by integrityflow's verification-state engine.
+func rootObjOf(info *types.Info, x ast.Expr) types.Object {
 	for {
 		switch v := ast.Unparen(x).(type) {
 		case *ast.Ident:
-			if obj := e.info.Uses[v]; obj != nil {
+			if obj := info.Uses[v]; obj != nil {
 				if _, isPkg := obj.(*types.PkgName); isPkg {
 					return nil
 				}
 				return obj
 			}
-			return e.info.Defs[v]
+			return info.Defs[v]
 		case *ast.SelectorExpr:
 			x = v.X
 		case *ast.IndexExpr:

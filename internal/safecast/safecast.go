@@ -68,12 +68,10 @@ func Int(n uint64) int {
 
 // Bits32 reinterprets an int32 as its two's-complement bit pattern.
 func Bits32(x int32) uint32 {
-	//arcvet:ignore mathbits deliberate two's-complement reinterpretation
 	return uint32(x)
 }
 
 // SignBits32 reinterprets a uint32 bit pattern as a signed int32.
 func SignBits32(x uint32) int32 {
-	//arcvet:ignore mathbits deliberate two's-complement reinterpretation
 	return int32(x)
 }

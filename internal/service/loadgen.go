@@ -155,6 +155,9 @@ type WorkloadResult struct {
 	// == InjectedWithin and CorrectedBits == InjectedWithinBits.
 	RepairedWithin int `json:"repaired_within_budget"`
 	CorrectedBits  int `json:"corrected_bits"`
+	// RangeCorrectedBits sums the corrections READ_RANGE responses
+	// reported — repairs the archive performed silently under reads.
+	RangeCorrectedBits int `json:"range_corrected_bits"`
 	// ReportedOver counts over-budget containers the server refused
 	// as uncorrectable — the only acceptable outcome for them.
 	ReportedOver int `json:"reported_over_budget"`
@@ -274,6 +277,7 @@ func mergeResults(dst, src *WorkloadResult) {
 	dst.InjectedOver += src.InjectedOver
 	dst.RepairedWithin += src.RepairedWithin
 	dst.CorrectedBits += src.CorrectedBits
+	dst.RangeCorrectedBits += src.RangeCorrectedBits
 	dst.ReportedOver += src.ReportedOver
 	dst.SilentMismatches += src.SilentMismatches
 	dst.UnrepairedWithin += src.UnrepairedWithin
@@ -366,10 +370,11 @@ func clientRangeRead(ctx context.Context, c *Client, opts WorkloadOptions, rng *
 	n := 1 + rng.Int63n(maxN)
 
 	start := time.Now()
-	data, _, err := c.ReadRange(ctx, opts.RangeArchive, first, n)
+	data, rep, err := c.ReadRange(ctx, opts.RangeArchive, first, n)
 	lat.Observe(time.Since(start))
 	t.result.Requests++
 	t.result.RangeReads++
+	t.result.RangeCorrectedBits += rep.CorrectedBits
 	t.result.BytesSent += rangeReqHeaderLen + int64(len(opts.RangeArchive))
 	if err != nil {
 		t.result.Errors++

@@ -370,7 +370,7 @@ func assemble(mode Mode, param, eb float64, dims []int, syms []int32, unpred []f
 	var payload bytes.Buffer
 	payload.WriteString(magic)
 	payload.WriteByte(version)
-	payload.WriteByte(byte(mode)) //arcvet:ignore mathbits Mode is a validated enum in [0,3]
+	payload.WriteByte(byte(mode))
 	var streamFlags byte
 	if mr != nil {
 		streamFlags |= flagRegression

@@ -130,7 +130,7 @@ func Compress(data []float64, dims []int, opts Options) ([]byte, error) {
 	var out bytes.Buffer
 	out.WriteString(magic)
 	out.WriteByte(version)
-	out.WriteByte(byte(opts.Mode)) //arcvet:ignore mathbits Mode is a validated enum, rejected above if unknown
+	out.WriteByte(byte(opts.Mode))
 	out.WriteByte(safecast.U8(len(dims)))
 	for _, d := range dims {
 		binWrite(&out, safecast.U32(d))

@@ -12,14 +12,30 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
-echo "== arcvet =="
-go run ./cmd/arcvet ./...
+echo "== arcvet (full suite + waivercheck, cold cache) =="
+# Built once so the cache benchmark below times the analysis, not the
+# toolchain. -waivercheck keeps //arcvet:ignore directives honest: a
+# waiver that suppresses nothing fails the sweep.
+go build -o /tmp/arcvet_verify ./cmd/arcvet
+arcvet_cache=$(mktemp -d)
+/tmp/arcvet_verify -waivercheck -cache-dir "$arcvet_cache" \
+    -timing /tmp/arcvet_cold.json ./...
+
+echo "== arcvet warm replay (recorded to BENCH_arcvet.json) =="
+# Same sources, warm cache: benchmeta gates that the rerun re-analyzed
+# nothing, reproduced the cold findings hash, and beat the cold wall
+# time by the speedup floor (nonzero exit fails verify under set -e).
+/tmp/arcvet_verify -waivercheck -cache-dir "$arcvet_cache" \
+    -timing /tmp/arcvet_warm.json ./...
+go run ./cmd/benchmeta arcvet /tmp/arcvet_cold.json /tmp/arcvet_warm.json > BENCH_arcvet.json
+rm -rf "$arcvet_cache"
+echo "wrote BENCH_arcvet.json"
 
 echo "== arcvet self-analysis =="
-go run ./cmd/arcvet ./internal/analysis ./cmd/arcvet
+/tmp/arcvet_verify ./internal/analysis ./cmd/arcvet
 
 echo "== arcvet concurrency contracts =="
-go run ./cmd/arcvet -analyzers lockorder,chansafety,ctxflow ./...
+/tmp/arcvet_verify -analyzers lockorder,chansafety,ctxflow ./...
 
 echo "== govulncheck =="
 if command -v govulncheck >/dev/null 2>&1; then
