@@ -47,6 +47,28 @@ func BenchmarkKernelGF256MulSlice(b *testing.B) {
 	})
 }
 
+// BenchmarkKernelGF256MulSliceTier measures MulSlice under every SIMD
+// dispatch tier the host supports (plus the word fallback), so one run
+// records how much each vector width buys over the next. benchmeta
+// gates the avx2/ssse3 ratio on hosts that report AVX2.
+func BenchmarkKernelGF256MulSliceTier(b *testing.B) {
+	src := randBytes(kernelBuf, 12)
+	dst := randBytes(kernelBuf, 13)
+	for _, tier := range gf256.Tiers() {
+		b.Run(tier, func(b *testing.B) {
+			restore, err := gf256.ForceTier(tier)
+			if err != nil {
+				b.Fatalf("ForceTier(%q): %v", tier, err)
+			}
+			defer restore()
+			b.SetBytes(kernelBuf)
+			for i := 0; i < b.N; i++ {
+				gf256.MulSlice(0x1D, src, dst)
+			}
+		})
+	}
+}
+
 func BenchmarkKernelGF256Xor(b *testing.B) {
 	src := randBytes(kernelBuf, 3)
 	dst := randBytes(kernelBuf, 4)

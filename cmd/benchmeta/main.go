@@ -39,25 +39,39 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"slices"
 	"strconv"
 	"strings"
 
+	"repro/internal/gf256"
 	"repro/internal/service"
 )
 
+// hostMeta identifies the machine behind a recorded artifact. Cores is
+// the hardware view (runtime.NumCPU) and GOMAXPROCS the scheduler's —
+// they differ under cgroup CPU quotas, and parallel-speedup numbers
+// only make sense against the latter. CPUFeatures and DispatchTier
+// record which SIMD tiers the gf256 dispatcher saw and which one it
+// picked, so kernel MB/s is attributable to a specific code path.
 type hostMeta struct {
-	Cores     int    `json:"cores"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	GoVersion string `json:"go_version"`
+	Cores        int      `json:"cores"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	GOOS         string   `json:"goos"`
+	GOARCH       string   `json:"goarch"`
+	GoVersion    string   `json:"go_version"`
+	CPUFeatures  []string `json:"cpu_features"`
+	DispatchTier string   `json:"dispatch_tier"`
 }
 
 func host() hostMeta {
 	return hostMeta{
-		Cores:     runtime.NumCPU(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
+		Cores:        runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		GoVersion:    runtime.Version(),
+		CPUFeatures:  gf256.Features(),
+		DispatchTier: gf256.ActiveTier(),
 	}
 }
 
@@ -131,6 +145,17 @@ const (
 
 	secdedSpeedupMin = 3.0
 	gf256SpeedupMin  = 2.0
+
+	// Vectorized codec kernels: the batched SZ quantizer and the
+	// unrolled ZFP lifting transform, each against its retained scalar
+	// reference.
+	szQuantizeSpeedupMin = 2.0
+	zfpLiftSpeedupMin    = 2.0
+
+	// avx2VsSSSE3Min gates the 32-byte GF(256) kernel against the
+	// 16-byte one on hosts whose dispatcher reports AVX2: twice the
+	// lanes should buy at least 1.5x after memory effects.
+	avx2VsSSSE3Min = 1.5
 )
 
 type streamArtifact struct {
@@ -214,30 +239,65 @@ func runKernels(in io.Reader, out, errw io.Writer) error {
 		}
 		speedups[strings.TrimPrefix(base, "BenchmarkKernel")] = round2(b.MBPerS / scalar)
 	}
+	// The per-tier MulSlice runs are not word/scalar pairs; derive the
+	// AVX2-over-SSSE3 ratio from them when both tiers were measured.
+	avx2 := mbps["BenchmarkKernelGF256MulSliceTier/avx2"]
+	ssse3 := mbps["BenchmarkKernelGF256MulSliceTier/ssse3"]
+	if avx2 > 0 && ssse3 > 0 {
+		speedups["GF256MulSliceAVX2VsSSSE3"] = round2(avx2 / ssse3)
+	}
+	targets := map[string]float64{
+		"SECDED64Encode_min": secdedSpeedupMin,
+		"GF256MulSlice_min":  gf256SpeedupMin,
+		"SZQuantize_min":     szQuantizeSpeedupMin,
+		"ZFPLift_min":        zfpLiftSpeedupMin,
+	}
+	hostHasAVX2 := slices.Contains(gf256.Features(), "avx2")
+	if hostHasAVX2 {
+		targets["GF256MulSliceAVX2VsSSSE3_min"] = avx2VsSSSE3Min
+	}
 	art := kernelsArtifact{
 		Host:       host(),
-		Note:       "word/scalar pairs are measured in the same run; speedups are word MB/s over scalar MB/s",
+		Note:       "word/scalar pairs are measured in the same run; speedups are word MB/s over scalar MB/s. GF256MulSliceTier runs the same kernel under each dispatch tier; its avx2/ssse3 ratio is gated only on hosts that report AVX2.",
 		Benchmarks: benches,
 		Speedups:   speedups,
-		Targets: map[string]float64{
-			"SECDED64Encode_min": secdedSpeedupMin,
-			"GF256MulSlice_min":  gf256SpeedupMin,
-		},
+		Targets:    targets,
 	}
 	if err := emit(out, art); err != nil {
 		return err
 	}
 
-	secded, okS := speedups["SECDED64Encode"]
-	mul, okM := speedups["GF256MulSlice"]
-	if !okS || !okM {
-		return fmt.Errorf("kernel gate FAILED: missing word/scalar pair for SECDED64Encode or GF256MulSlice")
+	floors := []struct {
+		name string
+		min  float64
+	}{
+		{"SECDED64Encode", secdedSpeedupMin},
+		{"GF256MulSlice", gf256SpeedupMin},
+		{"SZQuantize", szQuantizeSpeedupMin},
+		{"ZFPLift", zfpLiftSpeedupMin},
 	}
-	if secded < secdedSpeedupMin || mul < gf256SpeedupMin {
-		return fmt.Errorf("kernel gate FAILED: SECDED64Encode %.2fx (need %gx), GF256MulSlice %.2fx (need %gx)",
-			secded, secdedSpeedupMin, mul, gf256SpeedupMin)
+	if hostHasAVX2 {
+		floors = append(floors, struct {
+			name string
+			min  float64
+		}{"GF256MulSliceAVX2VsSSSE3", avx2VsSSSE3Min})
 	}
-	_, err = fmt.Fprintf(errw, "kernel gate OK: SECDED64Encode %.2fx, GF256MulSlice %.2fx\n", secded, mul)
+	var fails, oks []string
+	for _, f := range floors {
+		got, ok := speedups[f.name]
+		switch {
+		case !ok:
+			fails = append(fails, fmt.Sprintf("%s missing (no benchmark pair in input)", f.name))
+		case got < f.min:
+			fails = append(fails, fmt.Sprintf("%s %.2fx (need %gx)", f.name, got, f.min))
+		default:
+			oks = append(oks, fmt.Sprintf("%s %.2fx", f.name, got))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("kernel gate FAILED: %s", strings.Join(fails, "; "))
+	}
+	_, err = fmt.Fprintf(errw, "kernel gate OK: %s\n", strings.Join(oks, ", "))
 	return err
 }
 

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
+
+	"repro/internal/gf256"
 )
 
 const streamSample = `goos: linux
@@ -29,6 +32,13 @@ const kernelsSample = `BenchmarkKernelSECDED64Encode/scalar-1 	1000	 100 ns/op	 
 BenchmarkKernelSECDED64Encode/word-1   	5000	  21 ns/op	1410.00 MB/s	0 B/op	0 allocs/op
 BenchmarkKernelGF256MulSlice/scalar-1  	1000	 100 ns/op	 200.00 MB/s	0 B/op	0 allocs/op
 BenchmarkKernelGF256MulSlice/word-1    	9000	  11 ns/op	1806.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelGF256MulSliceTier/avx2-1 	9000	  10 ns/op	3600.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelGF256MulSliceTier/ssse3-1	5000	  20 ns/op	1800.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelGF256MulSliceTier/word-1 	1000	 180 ns/op	 200.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelSZQuantize/word-1       	2000	  50 ns/op	 650.00 MB/s	0 B/op	3 allocs/op
+BenchmarkKernelSZQuantize/scalar-1     	 600	 163 ns/op	 200.00 MB/s	0 B/op	3 allocs/op
+BenchmarkKernelZFPLift/word-1          	3000	  40 ns/op	 840.00 MB/s	0 B/op	0 allocs/op
+BenchmarkKernelZFPLift/scalar-1        	1000	 112 ns/op	 300.00 MB/s	0 B/op	0 allocs/op
 BenchmarkKernelBitReader/word-1        	1000	 100 ns/op	 900.00 MB/s	0 B/op	0 allocs/op
 PASS
 `
@@ -141,8 +151,20 @@ func TestKernelsArtifactAndGate(t *testing.T) {
 	if got := art.Speedups["GF256MulSlice"]; got != 9.03 {
 		t.Errorf("GF256MulSlice speedup = %v, want 9.03", got)
 	}
+	if got := art.Speedups["SZQuantize"]; got != 3.25 {
+		t.Errorf("SZQuantize speedup = %v, want 3.25", got)
+	}
+	if got := art.Speedups["ZFPLift"]; got != 2.8 {
+		t.Errorf("ZFPLift speedup = %v, want 2.8", got)
+	}
+	if got := art.Speedups["GF256MulSliceAVX2VsSSSE3"]; got != 2.0 {
+		t.Errorf("GF256MulSliceAVX2VsSSSE3 = %v, want 2.0", got)
+	}
 	if _, ok := art.Speedups["BitReader"]; ok {
 		t.Error("word bench without a scalar pair must not produce a speedup")
+	}
+	if _, ok := art.Speedups["GF256MulSliceTier/avx2"]; ok {
+		t.Error("tier benches are not word/scalar pairs and must not produce per-tier speedups")
 	}
 	if !strings.Contains(errw.String(), "kernel gate OK") {
 		t.Errorf("stderr = %q", errw.String())
@@ -167,7 +189,7 @@ func TestKernelsGateFailsWhenPairMissing(t *testing.T) {
 	}
 	var out, errw bytes.Buffer
 	err := runKernels(strings.NewReader(strings.Join(lines, "\n")), &out, &errw)
-	if err == nil || !strings.Contains(err.Error(), "missing word/scalar pair") {
+	if err == nil || !strings.Contains(err.Error(), "GF256MulSlice missing") {
 		t.Fatalf("err = %v, want missing-pair failure", err)
 	}
 }
@@ -328,6 +350,30 @@ func TestHostOnlyModeIsSingleLine(t *testing.T) {
 	}
 	if h.Cores < 1 {
 		t.Errorf("cores = %d", h.Cores)
+	}
+	if h.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d", h.GOMAXPROCS)
+	}
+	if h.DispatchTier == "" {
+		t.Error("dispatch_tier missing")
+	}
+	if !slices.Contains(append(h.CPUFeatures, "word"), h.DispatchTier) {
+		t.Errorf("dispatch tier %q is not among features %v or the word fallback", h.DispatchTier, h.CPUFeatures)
+	}
+}
+
+// TestKernelsGateAVX2Tier exercises the conditional AVX2-over-SSSE3
+// floor. It only runs where the dispatcher reports AVX2, since the
+// gate is deliberately skipped elsewhere.
+func TestKernelsGateAVX2Tier(t *testing.T) {
+	if !slices.Contains(gf256.Features(), "avx2") {
+		t.Skip("host dispatcher does not report AVX2; tier gate inactive")
+	}
+	slow := strings.Replace(kernelsSample, "3600.00 MB/s", "1900.00 MB/s", 1)
+	var out, errw bytes.Buffer
+	err := runKernels(strings.NewReader(slow), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "GF256MulSliceAVX2VsSSSE3 1.06x") {
+		t.Fatalf("err = %v, want AVX2-tier floor failure", err)
 	}
 }
 

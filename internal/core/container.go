@@ -82,9 +82,7 @@ func unmarshalHeader(buf []byte) (header, error) {
 		}
 	}
 	var voted [headerLen]byte
-	for i := 0; i < headerLen; i++ {
-		voted[i] = vote3(buf[i], buf[headerLen+i], buf[2*headerLen+i])
-	}
+	voteBytes(voted[:], buf, buf[headerLen:], buf[2*headerLen:])
 	h, err := parseOne(voted[:])
 	if err != nil {
 		return header{}, fmt.Errorf("%w: all header replicas damaged beyond voting", ErrContainer)

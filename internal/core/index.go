@@ -139,9 +139,7 @@ func parseTrailer(buf []byte) (indexOff int64, entries int, err error) {
 		}
 	}
 	var voted [trailerRecordLen]byte
-	for i := 0; i < trailerRecordLen; i++ {
-		voted[i] = vote3(buf[i], buf[trailerRecordLen+i], buf[2*trailerRecordLen+i])
-	}
+	voteBytes(voted[:], buf, buf[trailerRecordLen:], buf[2*trailerRecordLen:])
 	off, n, verr := parseTrailerRecord(voted[:])
 	if verr != nil {
 		return 0, 0, fmt.Errorf("%w: all trailer replicas damaged beyond voting", ErrContainer)

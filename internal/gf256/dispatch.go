@@ -1,0 +1,90 @@
+package gf256
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Runtime SIMD dispatch. Each architecture contributes a ladder of
+// tiers (widest first); the slice kernels consult the active tier on
+// every call and fall through to the portable uint64 word path when no
+// SIMD tier applies. The tier is chosen once at init from CPU feature
+// detection, optionally capped by the ARC_SIMD environment variable so
+// every compiled-in tier is testable on one host. The scalar reference
+// implementations (MulSliceRef and friends) sit below the word tier
+// and are never dispatched to — they exist as differential-test
+// oracles and benchmark baselines.
+const (
+	// TierAVX2 is the amd64 32-byte VPSHUFB path.
+	TierAVX2 = "avx2"
+	// TierSSSE3 is the amd64 16-byte PSHUFB path.
+	TierSSSE3 = "ssse3"
+	// TierNEON is the arm64 16-byte TBL path.
+	TierNEON = "neon"
+	// TierWord is the portable uint64-lane path, available everywhere.
+	TierWord = "word"
+)
+
+// SIMDEnv is the environment variable consulted at init to cap the
+// dispatch tier: one of the tier names above, "off"/"none"/"scalar"
+// (aliases for "word"), or ""/"auto" for the best supported tier.
+// Unsupported or unknown values fall back to the best supported tier.
+const SIMDEnv = "ARC_SIMD"
+
+// activeTierName is the tier the slice kernels currently dispatch to.
+// It is written at init and by ForceTier (tests, benchmarks); readers
+// on the hot path consult the per-arch booleans it controls instead.
+var activeTierName = TierWord
+
+// ActiveTier returns the dispatch tier the slice kernels currently
+// use: one of Tiers().
+func ActiveTier() string { return activeTierName }
+
+// Features returns the detected CPU SIMD features relevant to this
+// package (widest first), regardless of any ARC_SIMD override:
+// e.g. ["avx2", "ssse3"] on a modern amd64 host, ["neon"] on arm64,
+// nil elsewhere.
+func Features() []string { return features() }
+
+// Tiers returns the dispatch tiers runnable on this host, widest
+// first. The portable word tier is always last and always present.
+func Tiers() []string { return append(features(), TierWord) }
+
+// ForceTier switches the slice kernels to the named tier and returns a
+// restore function that reinstates the previous tier. It errors when
+// the tier is not supported on this host. It mutates package-level
+// dispatch state, so callers (tests, benchmarks) must not run
+// concurrently with other users of the package.
+func ForceTier(name string) (restore func(), err error) {
+	prev := activeTierName
+	if err := applyTier(name); err != nil {
+		return nil, err
+	}
+	return func() { _ = applyTier(prev) }, nil
+}
+
+func errUnsupportedTier(name string) error {
+	return fmt.Errorf("gf256: tier %q not supported on this host (have %s)",
+		name, strings.Join(Tiers(), ", "))
+}
+
+func init() {
+	best := TierWord
+	if f := features(); len(f) > 0 {
+		best = f[0]
+	}
+	want := best
+	switch v := strings.ToLower(os.Getenv(SIMDEnv)); v {
+	case "", "auto":
+	case "off", "none", "scalar":
+		want = TierWord
+	default:
+		want = v
+	}
+	if applyTier(want) != nil {
+		// Unsupported request (ARC_SIMD=avx2 on an SSSE3-only host, or
+		// a typo): run at the best supported tier rather than failing.
+		_ = applyTier(best)
+	}
+}

@@ -1,0 +1,95 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestTiersAlwaysIncludeWord(t *testing.T) {
+	tiers := Tiers()
+	if len(tiers) == 0 || tiers[len(tiers)-1] != TierWord {
+		t.Fatalf("Tiers() = %v, want word as final fallback", tiers)
+	}
+	if !slices.Contains(tiers, ActiveTier()) {
+		t.Fatalf("ActiveTier() = %q not in Tiers() %v", ActiveTier(), tiers)
+	}
+}
+
+func TestFeaturesMatchTiers(t *testing.T) {
+	f := Features()
+	tiers := Tiers()
+	if len(tiers) != len(f)+1 {
+		t.Fatalf("Tiers() = %v, Features() = %v: want tiers = features + word", tiers, f)
+	}
+	for i, name := range f {
+		if tiers[i] != name {
+			t.Fatalf("Tiers()[%d] = %q, want feature %q", i, tiers[i], name)
+		}
+	}
+}
+
+func TestForceTierRestores(t *testing.T) {
+	orig := ActiveTier()
+	restore, err := ForceTier(TierWord)
+	if err != nil {
+		t.Fatalf("ForceTier(word): %v", err)
+	}
+	if got := ActiveTier(); got != TierWord {
+		t.Fatalf("ActiveTier() = %q after ForceTier(word)", got)
+	}
+	restore()
+	if got := ActiveTier(); got != orig {
+		t.Fatalf("ActiveTier() = %q after restore, want %q", got, orig)
+	}
+}
+
+func TestForceTierRejectsUnsupported(t *testing.T) {
+	if _, err := ForceTier("quantum"); err == nil {
+		t.Fatal("ForceTier of a made-up tier succeeded")
+	}
+	// A tier belonging to a different architecture must be rejected too.
+	foreign := TierNEON
+	if slices.Contains(Features(), TierNEON) {
+		foreign = TierAVX2
+	}
+	if _, err := ForceTier(foreign); err == nil {
+		t.Fatalf("ForceTier(%q) succeeded on a host without it", foreign)
+	}
+	// A failed force must not change the active tier.
+	if !slices.Contains(Tiers(), ActiveTier()) {
+		t.Fatalf("ActiveTier() = %q invalid after failed ForceTier", ActiveTier())
+	}
+}
+
+// TestTierCrossAgreement runs the same random workload under every
+// supported tier and requires bit-identical results across tiers, not
+// just against the scalar reference.
+func TestTierCrossAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := make([]byte, 1031)
+	rng.Read(src)
+	base := make([]byte, len(src))
+	rng.Read(base)
+
+	for _, c := range []byte{0, 1, 2, 0x53, 0xFF} {
+		var want []byte
+		for _, tier := range Tiers() {
+			restore, err := ForceTier(tier)
+			if err != nil {
+				t.Fatalf("ForceTier(%q): %v", tier, err)
+			}
+			got := append([]byte(nil), base...)
+			MulSlice(c, src, got)
+			XorSlice(src, got)
+			MulSliceAssign(c, got, got)
+			restore()
+			if want == nil {
+				want = got
+			} else if !bytes.Equal(got, want) {
+				t.Fatalf("tier %q diverges for c=%d", tier, c)
+			}
+		}
+	}
+}

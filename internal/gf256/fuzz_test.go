@@ -1,0 +1,53 @@
+package gf256
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGF256Dispatch feeds the same inputs through every compiled-in
+// dispatch tier (forced via the feature-mask override) plus the scalar
+// references and requires byte-identical outputs. The slice is split at
+// an arbitrary point into src/dst so the fuzzer controls length,
+// alignment, and content of both operands.
+func FuzzGF256Dispatch(f *testing.F) {
+	f.Add(byte(2), []byte{})
+	f.Add(byte(0x1D), []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(byte(0xFF), bytes.Repeat([]byte{0xA5, 0x3C}, 40))
+	f.Add(byte(1), make([]byte, 65))
+	f.Fuzz(func(t *testing.T, c byte, data []byte) {
+		src := data[:len(data)/2]
+		dst := data[len(data)/2 : len(data)/2*2]
+
+		wantMul := append([]byte(nil), dst...)
+		MulSliceRef(c, src, wantMul)
+		wantAssign := make([]byte, len(src))
+		MulSliceAssignRef(c, src, wantAssign)
+		wantXor := append([]byte(nil), dst...)
+		XorSliceRef(src, wantXor)
+
+		for _, tier := range Tiers() {
+			restore, err := ForceTier(tier)
+			if err != nil {
+				t.Fatalf("ForceTier(%q): %v", tier, err)
+			}
+			gotMul := append([]byte(nil), dst...)
+			MulSlice(c, src, gotMul)
+			gotAssign := make([]byte, len(src))
+			MulSliceAssign(c, src, gotAssign)
+			gotXor := append([]byte(nil), dst...)
+			XorSlice(src, gotXor)
+			restore()
+
+			if !bytes.Equal(gotMul, wantMul) {
+				t.Errorf("tier %q MulSlice(c=%d, n=%d) diverges from reference", tier, c, len(src))
+			}
+			if !bytes.Equal(gotAssign, wantAssign) {
+				t.Errorf("tier %q MulSliceAssign(c=%d, n=%d) diverges from reference", tier, c, len(src))
+			}
+			if !bytes.Equal(gotXor, wantXor) {
+				t.Errorf("tier %q XorSlice(n=%d) diverges from reference", tier, len(src))
+			}
+		}
+	})
+}

@@ -114,6 +114,12 @@ func XorSlice(src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: XorSlice length mismatch")
 	}
+	if n := xorSIMD(src, dst); n > 0 {
+		for i := n; i < len(src); i++ {
+			dst[i] ^= src[i]
+		}
+		return
+	}
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {
 		binary.LittleEndian.PutUint64(dst[i:],
@@ -153,9 +159,7 @@ func MulSlice(c byte, src, dst []byte) {
 		return
 	}
 	row := mulRow(c)
-	if useAsm && len(src) >= 16 {
-		n := len(src) &^ 15
-		gfMulXorNib(&nibTables[c], src[:n], dst[:n])
+	if n := mulXorSIMD(c, src, dst); n > 0 {
 		for i := n; i < len(src); i++ {
 			dst[i] ^= row[src[i]]
 		}
@@ -219,9 +223,7 @@ func MulSliceAssign(c byte, src, dst []byte) {
 		return
 	}
 	row := mulRow(c)
-	if useAsm && len(src) >= 16 {
-		n := len(src) &^ 15
-		gfMulNib(&nibTables[c], src[:n], dst[:n])
+	if n := mulAssignSIMD(c, src, dst); n > 0 {
 		for i := n; i < len(src); i++ {
 			dst[i] = row[src[i]]
 		}

@@ -10,9 +10,12 @@ import (
 // large buffers so both the uint64 lanes and the scalar tails run.
 var kernelLens = []int{0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 255, 1000, 1024, 1031}
 
-// TestMulSliceMatchesRef pins the word kernel to the scalar reference
-// for every coefficient, over odd lengths and unaligned slice offsets.
-func TestMulSliceMatchesRef(t *testing.T) {
+// TestMulSliceMatchesRef pins the dispatched kernel to the scalar
+// reference for every coefficient, over odd lengths and unaligned
+// slice offsets, under every SIMD tier the host can run.
+func TestMulSliceMatchesRef(t *testing.T) { forEachTier(t, testMulSliceMatchesRef) }
+
+func testMulSliceMatchesRef(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for c := 0; c < 256; c++ {
 		for _, n := range kernelLens {
@@ -33,7 +36,9 @@ func TestMulSliceMatchesRef(t *testing.T) {
 	}
 }
 
-func TestMulSliceAssignMatchesRef(t *testing.T) {
+func TestMulSliceAssignMatchesRef(t *testing.T) { forEachTier(t, testMulSliceAssignMatchesRef) }
+
+func testMulSliceAssignMatchesRef(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for c := 0; c < 256; c++ {
 		for _, n := range kernelLens {
@@ -54,7 +59,9 @@ func TestMulSliceAssignMatchesRef(t *testing.T) {
 	}
 }
 
-func TestXorSliceMatchesRef(t *testing.T) {
+func TestXorSliceMatchesRef(t *testing.T) { forEachTier(t, testXorSliceMatchesRef) }
+
+func testXorSliceMatchesRef(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, n := range kernelLens {
 		for off := 0; off < 8; off++ {
@@ -70,6 +77,21 @@ func TestXorSliceMatchesRef(t *testing.T) {
 				t.Fatalf("XorSlice(n=%d, off=%d) diverges from reference", n, off)
 			}
 		}
+	}
+}
+
+// forEachTier runs fn as a subtest under every dispatch tier the host
+// supports (word always included), restoring the original tier after.
+func forEachTier(t *testing.T, fn func(*testing.T)) {
+	for _, tier := range Tiers() {
+		t.Run(tier, func(t *testing.T) {
+			restore, err := ForceTier(tier)
+			if err != nil {
+				t.Fatalf("ForceTier(%q): %v", tier, err)
+			}
+			defer restore()
+			fn(t)
+		})
 	}
 }
 

@@ -2,33 +2,45 @@
 
 package gf256
 
-// The amd64 fast path multiplies 16 bytes per instruction group with
-// PSHUFB nibble tables, the technique used by production erasure
-// coders in the Jerasure/klauspost lineage (and by ISA-L): by
+// The amd64 fast paths multiply 16 or 32 bytes per instruction group
+// with PSHUFB/VPSHUFB nibble tables, the technique used by production
+// erasure coders in the Jerasure/klauspost lineage (and by ISA-L): by
 // GF(2)-linearity, c*x == c*(x & 0x0F) ^ c*(x & 0xF0), so one 16-entry
 // table per nibble half turns the multiply into two byte shuffles and
-// an XOR. PSHUFB needs SSSE3, which is detected once at init; every
-// other path (tail bytes, short slices, other GOARCHes) uses the
-// portable word kernel, and the outputs are byte-identical because the
-// nibble tables are derived from the same multiplication row.
+// an XOR. The AVX2 kernels broadcast the same 16-byte tables into both
+// 128-bit lanes of a YMM register and process 32 source bytes per
+// iteration. Tier selection (CPUID feature detection, ARC_SIMD
+// override) lives in dispatch_amd64.go; every path is byte-identical
+// because the nibble tables are derived from the same multiplication
+// row.
 
 // cpuid executes the CPUID instruction for the given leaf (sub-leaf 0).
 // Implemented in mul_amd64.s.
 func cpuid(op uint32) (eax, ebx, ecx, edx uint32)
 
+// xgetbv reads extended control register 0 (XCR0), which reports the
+// register state the OS saves on context switch. Only called after
+// CPUID confirms OSXSAVE support. Implemented in mul_amd64.s.
+func xgetbv() (eax, edx uint32)
+
 // gfMulXorNib computes dst[i] ^= tab-multiply(src[i]) over len(src)
 // bytes, which must be a multiple of 16 and equal len(dst).
-// Implemented in mul_amd64.s.
+// Implemented in mul_amd64.s (SSSE3).
 func gfMulXorNib(tab *[32]byte, src, dst []byte)
 
 // gfMulNib computes dst[i] = tab-multiply(src[i]) (overwrite, not
 // accumulate) with the same contract as gfMulXorNib.
-// Implemented in mul_amd64.s.
+// Implemented in mul_amd64.s (SSSE3).
 func gfMulNib(tab *[32]byte, src, dst []byte)
 
-// useAsm reports whether the CPU supports SSSE3 (CPUID leaf 1, ECX bit
-// 9). amd64 guarantees SSE2 only, so PSHUFB must be feature-checked.
-var useAsm = func() bool {
-	_, _, ecx, _ := cpuid(1)
-	return ecx&(1<<9) != 0
-}()
+// gfMulXorAVX2 is gfMulXorNib over 32-byte VPSHUFB lanes; len(src)
+// must be a multiple of 32. Implemented in mul_amd64.s (AVX2).
+func gfMulXorAVX2(tab *[32]byte, src, dst []byte)
+
+// gfMulAVX2 is the overwrite variant of gfMulXorAVX2.
+// Implemented in mul_amd64.s (AVX2).
+func gfMulAVX2(tab *[32]byte, src, dst []byte)
+
+// gfXorAVX2 computes dst[i] ^= src[i] over len(src) bytes, a multiple
+// of 32. Implemented in mul_amd64.s (AVX2).
+func gfXorAVX2(src, dst []byte)

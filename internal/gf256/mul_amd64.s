@@ -2,6 +2,11 @@
 
 #include "textflag.h"
 
+// nibMask is the 0x0F byte mask the nibble kernels broadcast.
+DATA nibMask<>+0(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask<>+8(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL nibMask<>(SB), RODATA|NOPTR, $16
+
 // func cpuid(op uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL op+0(FP), AX
@@ -11,6 +16,14 @@ TEXT ·cpuid(SB), NOSPLIT, $0-24
 	MOVL BX, ebx+12(FP)
 	MOVL CX, ecx+16(FP)
 	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
 	RET
 
 // func gfMulXorNib(tab *[32]byte, src, dst []byte)
@@ -88,4 +101,97 @@ loop:
 	JNZ   loop
 
 done:
+	RET
+
+// func gfMulXorAVX2(tab *[32]byte, src, dst []byte)
+//
+// The AVX2 widening of gfMulXorNib: the two 16-byte nibble product
+// tables are broadcast into both 128-bit lanes of a YMM register
+// (VPSHUFB shuffles within each lane independently, so both lanes need
+// the full table), then each iteration multiplies 32 source bytes.
+// len(src) must be a multiple of 32.
+TEXT ·gfMulXorAVX2(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	VBROADCASTI128 (AX), Y0       // low-nibble product table, both lanes
+	VBROADCASTI128 16(AX), Y1     // high-nibble product table, both lanes
+	VBROADCASTI128 nibMask<>(SB), Y2
+	SHRQ $5, CX                   // 32-byte blocks
+	JZ   axordone
+
+axorloop:
+	VMOVDQU (SI), Y3              // 32 source bytes
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3            // low nibbles
+	VPAND   Y2, Y4, Y4            // high nibbles
+	VPSHUFB Y3, Y0, Y5            // products of the low halves
+	VPSHUFB Y4, Y1, Y6            // products of the high halves
+	VPXOR   Y6, Y5, Y5            // mul(src)
+	VPXOR   (DI), Y5, Y5          // accumulate into dst
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     axorloop
+
+axordone:
+	VZEROUPPER
+	RET
+
+// func gfMulAVX2(tab *[32]byte, src, dst []byte)
+//
+// dst[i] = mul(src[i]) — the overwrite variant of gfMulXorAVX2.
+TEXT ·gfMulAVX2(SB), NOSPLIT, $0-56
+	MOVQ tab+0(FP), AX
+	MOVQ src_base+8(FP), SI
+	MOVQ src_len+16(FP), CX
+	MOVQ dst_base+32(FP), DI
+	VBROADCASTI128 (AX), Y0
+	VBROADCASTI128 16(AX), Y1
+	VBROADCASTI128 nibMask<>(SB), Y2
+	SHRQ $5, CX
+	JZ   adone
+
+aloop:
+	VMOVDQU (SI), Y3
+	VPSRLW  $4, Y3, Y4
+	VPAND   Y2, Y3, Y3
+	VPAND   Y2, Y4, Y4
+	VPSHUFB Y3, Y0, Y5
+	VPSHUFB Y4, Y1, Y6
+	VPXOR   Y6, Y5, Y5
+	VMOVDQU Y5, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     aloop
+
+adone:
+	VZEROUPPER
+	RET
+
+// func gfXorAVX2(src, dst []byte)
+//
+// dst[i] ^= src[i] over 32-byte lanes; len(src) must be a multiple
+// of 32.
+TEXT ·gfXorAVX2(SB), NOSPLIT, $0-48
+	MOVQ src_base+0(FP), SI
+	MOVQ src_len+8(FP), CX
+	MOVQ dst_base+24(FP), DI
+	SHRQ $5, CX
+	JZ   xdone
+
+xloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     xloop
+
+xdone:
+	VZEROUPPER
 	RET

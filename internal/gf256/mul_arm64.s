@@ -1,0 +1,90 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// The NEON nibble-table kernels mirror the amd64 PSHUFB ones: TBL
+// performs sixteen 4-bit table lookups per instruction, and unlike
+// x86's per-word PSRLW, VUSHR shifts per byte, so extracting the high
+// nibbles needs no extra mask. The tables are the same 32 bytes per
+// coefficient built at init, so outputs are byte-identical to the
+// portable word path.
+
+// func gfMulXorNEON(tab *[32]byte, src, dst []byte)
+//
+// dst[i] ^= mul(src[i]) for len(src) bytes (a multiple of 16).
+TEXT ·gfMulXorNEON(SB), NOSPLIT, $0-56
+	MOVD tab+0(FP), R0
+	MOVD src_base+8(FP), R1
+	MOVD src_len+16(FP), R2
+	MOVD dst_base+32(FP), R3
+	VLD1 (R0), [V0.B16, V1.B16]   // low, high nibble product tables
+	MOVD $0x0F, R4
+	VDUP R4, V2.B16               // 16 lanes of 0x0F
+	LSR  $4, R2, R2               // 16-byte blocks
+	CBZ  R2, xordone
+
+xorloop:
+	VLD1.P 16(R1), [V3.B16]       // 16 source bytes
+	VUSHR  $4, V3.B16, V4.B16     // high nibbles
+	VAND   V2.B16, V3.B16, V3.B16 // low nibbles
+	VTBL   V3.B16, [V0.B16], V5.B16
+	VTBL   V4.B16, [V1.B16], V6.B16
+	VEOR   V6.B16, V5.B16, V5.B16 // mul(src)
+	VLD1   (R3), [V7.B16]
+	VEOR   V7.B16, V5.B16, V5.B16 // accumulate into dst
+	VST1.P [V5.B16], 16(R3)
+	SUBS   $1, R2, R2
+	BNE    xorloop
+
+xordone:
+	RET
+
+// func gfMulNEON(tab *[32]byte, src, dst []byte)
+//
+// dst[i] = mul(src[i]) — the overwrite variant of gfMulXorNEON.
+TEXT ·gfMulNEON(SB), NOSPLIT, $0-56
+	MOVD tab+0(FP), R0
+	MOVD src_base+8(FP), R1
+	MOVD src_len+16(FP), R2
+	MOVD dst_base+32(FP), R3
+	VLD1 (R0), [V0.B16, V1.B16]
+	MOVD $0x0F, R4
+	VDUP R4, V2.B16
+	LSR  $4, R2, R2
+	CBZ  R2, muldone
+
+mulloop:
+	VLD1.P 16(R1), [V3.B16]
+	VUSHR  $4, V3.B16, V4.B16
+	VAND   V2.B16, V3.B16, V3.B16
+	VTBL   V3.B16, [V0.B16], V5.B16
+	VTBL   V4.B16, [V1.B16], V6.B16
+	VEOR   V6.B16, V5.B16, V5.B16
+	VST1.P [V5.B16], 16(R3)
+	SUBS   $1, R2, R2
+	BNE    mulloop
+
+muldone:
+	RET
+
+// func gfXorNEON(src, dst []byte)
+//
+// dst[i] ^= src[i] over 16-byte lanes; len(src) must be a multiple
+// of 16.
+TEXT ·gfXorNEON(SB), NOSPLIT, $0-48
+	MOVD src_base+0(FP), R1
+	MOVD src_len+8(FP), R2
+	MOVD dst_base+24(FP), R3
+	LSR  $4, R2, R2
+	CBZ  R2, eordone
+
+eorloop:
+	VLD1.P 16(R1), [V0.B16]
+	VLD1   (R3), [V1.B16]
+	VEOR   V1.B16, V0.B16, V0.B16
+	VST1.P [V0.B16], 16(R3)
+	SUBS   $1, R2, R2
+	BNE    eorloop
+
+eordone:
+	RET

@@ -180,11 +180,11 @@ type mixedResult struct {
 	qcoeffs []int64 // concatenated coefficients of regression blocks
 }
 
-// quantizeMixed runs prediction + quantization with per-block predictor
-// selection. Blocks are visited in raster order and cells within a
-// block in row-major order, which guarantees every Lorenzo neighbor is
-// already reconstructed.
-func quantizeMixed(data []float64, dims []int, eb float64) *mixedResult {
+// quantizeMixedRef is the scalar reference implementation of
+// quantizeMixed: a closure visit per cell with a predictor method call
+// inside. Retained for differential tests and as the benchmark
+// baseline of the batched block kernels in quant_fast.go.
+func quantizeMixedRef(data []float64, dims []int, eb float64) *mixedResult {
 	g := newRegGrid(dims)
 	nd := len(dims)
 	res := &mixedResult{

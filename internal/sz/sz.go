@@ -170,10 +170,12 @@ func valueRange(data []float64) (lo, hi float64) {
 	return lo, hi
 }
 
-// quantize runs the prediction + quantization stage, producing the
-// symbol stream (0 = unpredictable, otherwise code+quantRadius) and
-// the unpredictable values in order of appearance.
-func quantize(data []float64, dims []int, eb float64) (syms []int32, unpred []float64) {
+// quantizeRef is the scalar reference implementation of the
+// prediction + quantization stage: one predictor method call (with its
+// per-element index division) per value. Retained for differential
+// tests and as the benchmark baseline of the batched kernels in
+// quant_fast.go, which must reproduce it bit for bit.
+func quantizeRef(data []float64, dims []int, eb float64) (syms []int32, unpred []float64) {
 	n := len(data)
 	syms = make([]int32, n)
 	recon := make([]float64, n)
@@ -200,9 +202,9 @@ func quantize(data []float64, dims []int, eb float64) (syms []int32, unpred []fl
 	return syms, unpred
 }
 
-// dequantize reverses quantize given the symbol stream and the
-// unpredictable values.
-func dequantize(syms []int32, dims []int, eb float64, unpred []float64) ([]float64, error) {
+// dequantizeRef is the scalar reference implementation of dequantize,
+// retained for differential tests and benchmarks.
+func dequantizeRef(syms []int32, dims []int, eb float64, unpred []float64) ([]float64, error) {
 	n := len(syms)
 	recon := make([]float64, n)
 	pred := newPredictor(dims, recon)

@@ -200,8 +200,13 @@ func sInv(l, h int64) (a, b int64) {
 	return a, a - h
 }
 
-// fwdXform decorrelates a full block in place, lifting along each axis.
-func fwdXform(c []int64, nd int) {
+// fwdXformRef is the scalar reference implementation of fwdXform,
+// lifting one strided 4-vector at a time. Retained for differential
+// tests and as the benchmark baseline of the unrolled kernels in
+// xform.go (the integer S-transform is exactly associative, so the
+// unrolled variants are bit-identical by construction — the tests pin
+// that).
+func fwdXformRef(c []int64, nd int) {
 	switch nd {
 	case 1:
 		fwdLift(c, 1)
@@ -231,8 +236,9 @@ func fwdXform(c []int64, nd int) {
 	}
 }
 
-// invXform inverts fwdXform (axes in reverse order).
-func invXform(c []int64, nd int) {
+// invXformRef is the scalar reference implementation of invXform
+// (axes in reverse order).
+func invXformRef(c []int64, nd int) {
 	switch nd {
 	case 1:
 		invLift(c, 1)

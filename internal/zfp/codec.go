@@ -130,9 +130,7 @@ func encodeBlock(w *bitio.Writer, s *blockScratch, bl *blocker, opts Options) {
 		// Reorder to sequency order and map to negabinary. Every entry
 		// of the reused scratch is assigned, so no clearing is needed.
 		u := s.u
-		for i, p := range bl.perm {
-			u[i] = int2uint(coeffs[p])
-		}
+		int2uintBlock(u, coeffs, bl.perm)
 		kmin := 0
 		if !rateMode {
 			kmin = kminFor(opts, emax)
@@ -247,9 +245,7 @@ func decodeBlock(r *bitio.Reader, s *blockScratch, bl *blocker, opts Options) er
 		if err := decodePlanes(r, u, size, kmin, budget-1-expBits, maxPlanes); err != nil {
 			return err
 		}
-		for i, p := range bl.perm {
-			coeffs[p] = uint2int(u[i])
-		}
+		uint2intBlock(coeffs, u, bl.perm)
 		invXform(coeffs, bl.nd)
 		scale := math.Ldexp(1, emax-fixedPointBits)
 		for i := range vals {

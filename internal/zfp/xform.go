@@ -1,0 +1,203 @@
+package zfp
+
+// Unrolled S-transform kernels over whole 4^d blocks. The two-level
+// lifting of a 4-vector is fused into one call (lift4/unlift4), and
+// the per-axis strided loops of the reference are fully unrolled over
+// fixed-size array views, so the compiler emits no bounds checks and
+// can schedule the independent 4-vectors of each axis pass in
+// parallel. Every operation is two's-complement integer arithmetic —
+// exactly associative under wrapping — so the unrolled kernels are
+// bit-identical to fwdXformRef/invXformRef; xform_test.go pins that
+// differentially.
+
+// lift4 applies the two-level forward S-transform to one 4-vector:
+// level 1 pairs (x0,x1) and (x2,x3), level 2 pairs the two lows.
+// Output slot order is [ll, hl, h0, h1], matching fwdLift.
+func lift4(x0, x1, x2, x3 int64) (int64, int64, int64, int64) {
+	l0, h0 := (x0+x1)>>1, x0-x1
+	l1, h1 := (x2+x3)>>1, x2-x3
+	return (l0 + l1) >> 1, l0 - l1, h0, h1
+}
+
+// unlift4 inverts lift4.
+func unlift4(ll, hl, h0, h1 int64) (int64, int64, int64, int64) {
+	l0 := ll + ((hl + (hl & 1)) >> 1)
+	l1 := l0 - hl
+	x0 := l0 + ((h0 + (h0 & 1)) >> 1)
+	x1 := x0 - h0
+	x2 := l1 + ((h1 + (h1 & 1)) >> 1)
+	x3 := x2 - h1
+	return x0, x1, x2, x3
+}
+
+// fwdXform decorrelates a full block in place, lifting along each axis.
+func fwdXform(c []int64, nd int) {
+	switch nd {
+	case 1:
+		b := (*[4]int64)(c)
+		b[0], b[1], b[2], b[3] = lift4(b[0], b[1], b[2], b[3])
+	case 2:
+		fwdXform2D((*[16]int64)(c))
+	default:
+		fwdXform3D((*[64]int64)(c))
+	}
+}
+
+// invXform inverts fwdXform (axes in reverse order).
+func invXform(c []int64, nd int) {
+	switch nd {
+	case 1:
+		b := (*[4]int64)(c)
+		b[0], b[1], b[2], b[3] = unlift4(b[0], b[1], b[2], b[3])
+	case 2:
+		invXform2D((*[16]int64)(c))
+	default:
+		invXform3D((*[64]int64)(c))
+	}
+}
+
+// fwdXform2D lifts a 2D block: rows (stride 1), then columns (stride 4).
+func fwdXform2D(b *[16]int64) {
+	b[0], b[1], b[2], b[3] = lift4(b[0], b[1], b[2], b[3])
+	b[4], b[5], b[6], b[7] = lift4(b[4], b[5], b[6], b[7])
+	b[8], b[9], b[10], b[11] = lift4(b[8], b[9], b[10], b[11])
+	b[12], b[13], b[14], b[15] = lift4(b[12], b[13], b[14], b[15])
+	b[0], b[4], b[8], b[12] = lift4(b[0], b[4], b[8], b[12])
+	b[1], b[5], b[9], b[13] = lift4(b[1], b[5], b[9], b[13])
+	b[2], b[6], b[10], b[14] = lift4(b[2], b[6], b[10], b[14])
+	b[3], b[7], b[11], b[15] = lift4(b[3], b[7], b[11], b[15])
+}
+
+// invXform2D inverts fwdXform2D: columns, then rows.
+func invXform2D(b *[16]int64) {
+	b[0], b[4], b[8], b[12] = unlift4(b[0], b[4], b[8], b[12])
+	b[1], b[5], b[9], b[13] = unlift4(b[1], b[5], b[9], b[13])
+	b[2], b[6], b[10], b[14] = unlift4(b[2], b[6], b[10], b[14])
+	b[3], b[7], b[11], b[15] = unlift4(b[3], b[7], b[11], b[15])
+	b[0], b[1], b[2], b[3] = unlift4(b[0], b[1], b[2], b[3])
+	b[4], b[5], b[6], b[7] = unlift4(b[4], b[5], b[6], b[7])
+	b[8], b[9], b[10], b[11] = unlift4(b[8], b[9], b[10], b[11])
+	b[12], b[13], b[14], b[15] = unlift4(b[12], b[13], b[14], b[15])
+}
+
+// fwdXform3D lifts a 3D block: x (stride 1), y (stride 4), z (stride 16).
+func fwdXform3D(b *[64]int64) {
+	b[0], b[1], b[2], b[3] = lift4(b[0], b[1], b[2], b[3])
+	b[4], b[5], b[6], b[7] = lift4(b[4], b[5], b[6], b[7])
+	b[8], b[9], b[10], b[11] = lift4(b[8], b[9], b[10], b[11])
+	b[12], b[13], b[14], b[15] = lift4(b[12], b[13], b[14], b[15])
+	b[16], b[17], b[18], b[19] = lift4(b[16], b[17], b[18], b[19])
+	b[20], b[21], b[22], b[23] = lift4(b[20], b[21], b[22], b[23])
+	b[24], b[25], b[26], b[27] = lift4(b[24], b[25], b[26], b[27])
+	b[28], b[29], b[30], b[31] = lift4(b[28], b[29], b[30], b[31])
+	b[32], b[33], b[34], b[35] = lift4(b[32], b[33], b[34], b[35])
+	b[36], b[37], b[38], b[39] = lift4(b[36], b[37], b[38], b[39])
+	b[40], b[41], b[42], b[43] = lift4(b[40], b[41], b[42], b[43])
+	b[44], b[45], b[46], b[47] = lift4(b[44], b[45], b[46], b[47])
+	b[48], b[49], b[50], b[51] = lift4(b[48], b[49], b[50], b[51])
+	b[52], b[53], b[54], b[55] = lift4(b[52], b[53], b[54], b[55])
+	b[56], b[57], b[58], b[59] = lift4(b[56], b[57], b[58], b[59])
+	b[60], b[61], b[62], b[63] = lift4(b[60], b[61], b[62], b[63])
+	b[0], b[4], b[8], b[12] = lift4(b[0], b[4], b[8], b[12])
+	b[1], b[5], b[9], b[13] = lift4(b[1], b[5], b[9], b[13])
+	b[2], b[6], b[10], b[14] = lift4(b[2], b[6], b[10], b[14])
+	b[3], b[7], b[11], b[15] = lift4(b[3], b[7], b[11], b[15])
+	b[16], b[20], b[24], b[28] = lift4(b[16], b[20], b[24], b[28])
+	b[17], b[21], b[25], b[29] = lift4(b[17], b[21], b[25], b[29])
+	b[18], b[22], b[26], b[30] = lift4(b[18], b[22], b[26], b[30])
+	b[19], b[23], b[27], b[31] = lift4(b[19], b[23], b[27], b[31])
+	b[32], b[36], b[40], b[44] = lift4(b[32], b[36], b[40], b[44])
+	b[33], b[37], b[41], b[45] = lift4(b[33], b[37], b[41], b[45])
+	b[34], b[38], b[42], b[46] = lift4(b[34], b[38], b[42], b[46])
+	b[35], b[39], b[43], b[47] = lift4(b[35], b[39], b[43], b[47])
+	b[48], b[52], b[56], b[60] = lift4(b[48], b[52], b[56], b[60])
+	b[49], b[53], b[57], b[61] = lift4(b[49], b[53], b[57], b[61])
+	b[50], b[54], b[58], b[62] = lift4(b[50], b[54], b[58], b[62])
+	b[51], b[55], b[59], b[63] = lift4(b[51], b[55], b[59], b[63])
+	b[0], b[16], b[32], b[48] = lift4(b[0], b[16], b[32], b[48])
+	b[1], b[17], b[33], b[49] = lift4(b[1], b[17], b[33], b[49])
+	b[2], b[18], b[34], b[50] = lift4(b[2], b[18], b[34], b[50])
+	b[3], b[19], b[35], b[51] = lift4(b[3], b[19], b[35], b[51])
+	b[4], b[20], b[36], b[52] = lift4(b[4], b[20], b[36], b[52])
+	b[5], b[21], b[37], b[53] = lift4(b[5], b[21], b[37], b[53])
+	b[6], b[22], b[38], b[54] = lift4(b[6], b[22], b[38], b[54])
+	b[7], b[23], b[39], b[55] = lift4(b[7], b[23], b[39], b[55])
+	b[8], b[24], b[40], b[56] = lift4(b[8], b[24], b[40], b[56])
+	b[9], b[25], b[41], b[57] = lift4(b[9], b[25], b[41], b[57])
+	b[10], b[26], b[42], b[58] = lift4(b[10], b[26], b[42], b[58])
+	b[11], b[27], b[43], b[59] = lift4(b[11], b[27], b[43], b[59])
+	b[12], b[28], b[44], b[60] = lift4(b[12], b[28], b[44], b[60])
+	b[13], b[29], b[45], b[61] = lift4(b[13], b[29], b[45], b[61])
+	b[14], b[30], b[46], b[62] = lift4(b[14], b[30], b[46], b[62])
+	b[15], b[31], b[47], b[63] = lift4(b[15], b[31], b[47], b[63])
+}
+
+// invXform3D inverts fwdXform3D: z, then y, then x.
+func invXform3D(b *[64]int64) {
+	b[0], b[16], b[32], b[48] = unlift4(b[0], b[16], b[32], b[48])
+	b[1], b[17], b[33], b[49] = unlift4(b[1], b[17], b[33], b[49])
+	b[2], b[18], b[34], b[50] = unlift4(b[2], b[18], b[34], b[50])
+	b[3], b[19], b[35], b[51] = unlift4(b[3], b[19], b[35], b[51])
+	b[4], b[20], b[36], b[52] = unlift4(b[4], b[20], b[36], b[52])
+	b[5], b[21], b[37], b[53] = unlift4(b[5], b[21], b[37], b[53])
+	b[6], b[22], b[38], b[54] = unlift4(b[6], b[22], b[38], b[54])
+	b[7], b[23], b[39], b[55] = unlift4(b[7], b[23], b[39], b[55])
+	b[8], b[24], b[40], b[56] = unlift4(b[8], b[24], b[40], b[56])
+	b[9], b[25], b[41], b[57] = unlift4(b[9], b[25], b[41], b[57])
+	b[10], b[26], b[42], b[58] = unlift4(b[10], b[26], b[42], b[58])
+	b[11], b[27], b[43], b[59] = unlift4(b[11], b[27], b[43], b[59])
+	b[12], b[28], b[44], b[60] = unlift4(b[12], b[28], b[44], b[60])
+	b[13], b[29], b[45], b[61] = unlift4(b[13], b[29], b[45], b[61])
+	b[14], b[30], b[46], b[62] = unlift4(b[14], b[30], b[46], b[62])
+	b[15], b[31], b[47], b[63] = unlift4(b[15], b[31], b[47], b[63])
+	b[0], b[4], b[8], b[12] = unlift4(b[0], b[4], b[8], b[12])
+	b[1], b[5], b[9], b[13] = unlift4(b[1], b[5], b[9], b[13])
+	b[2], b[6], b[10], b[14] = unlift4(b[2], b[6], b[10], b[14])
+	b[3], b[7], b[11], b[15] = unlift4(b[3], b[7], b[11], b[15])
+	b[16], b[20], b[24], b[28] = unlift4(b[16], b[20], b[24], b[28])
+	b[17], b[21], b[25], b[29] = unlift4(b[17], b[21], b[25], b[29])
+	b[18], b[22], b[26], b[30] = unlift4(b[18], b[22], b[26], b[30])
+	b[19], b[23], b[27], b[31] = unlift4(b[19], b[23], b[27], b[31])
+	b[32], b[36], b[40], b[44] = unlift4(b[32], b[36], b[40], b[44])
+	b[33], b[37], b[41], b[45] = unlift4(b[33], b[37], b[41], b[45])
+	b[34], b[38], b[42], b[46] = unlift4(b[34], b[38], b[42], b[46])
+	b[35], b[39], b[43], b[47] = unlift4(b[35], b[39], b[43], b[47])
+	b[48], b[52], b[56], b[60] = unlift4(b[48], b[52], b[56], b[60])
+	b[49], b[53], b[57], b[61] = unlift4(b[49], b[53], b[57], b[61])
+	b[50], b[54], b[58], b[62] = unlift4(b[50], b[54], b[58], b[62])
+	b[51], b[55], b[59], b[63] = unlift4(b[51], b[55], b[59], b[63])
+	b[0], b[1], b[2], b[3] = unlift4(b[0], b[1], b[2], b[3])
+	b[4], b[5], b[6], b[7] = unlift4(b[4], b[5], b[6], b[7])
+	b[8], b[9], b[10], b[11] = unlift4(b[8], b[9], b[10], b[11])
+	b[12], b[13], b[14], b[15] = unlift4(b[12], b[13], b[14], b[15])
+	b[16], b[17], b[18], b[19] = unlift4(b[16], b[17], b[18], b[19])
+	b[20], b[21], b[22], b[23] = unlift4(b[20], b[21], b[22], b[23])
+	b[24], b[25], b[26], b[27] = unlift4(b[24], b[25], b[26], b[27])
+	b[28], b[29], b[30], b[31] = unlift4(b[28], b[29], b[30], b[31])
+	b[32], b[33], b[34], b[35] = unlift4(b[32], b[33], b[34], b[35])
+	b[36], b[37], b[38], b[39] = unlift4(b[36], b[37], b[38], b[39])
+	b[40], b[41], b[42], b[43] = unlift4(b[40], b[41], b[42], b[43])
+	b[44], b[45], b[46], b[47] = unlift4(b[44], b[45], b[46], b[47])
+	b[48], b[49], b[50], b[51] = unlift4(b[48], b[49], b[50], b[51])
+	b[52], b[53], b[54], b[55] = unlift4(b[52], b[53], b[54], b[55])
+	b[56], b[57], b[58], b[59] = unlift4(b[56], b[57], b[58], b[59])
+	b[60], b[61], b[62], b[63] = unlift4(b[60], b[61], b[62], b[63])
+}
+
+// int2uintBlock maps a block's transform coefficients through the
+// negabinary transform into u, permuted into sequency order.
+func int2uintBlock(u []uint64, coeffs []int64, perm []int) {
+	u = u[:len(perm)]
+	for i, p := range perm {
+		u[i] = int2uint(coeffs[p])
+	}
+}
+
+// uint2intBlock inverts int2uintBlock, scattering sequency-ordered
+// negabinary values back into block layout.
+func uint2intBlock(coeffs []int64, u []uint64, perm []int) {
+	u = u[:len(perm)]
+	for i, p := range perm {
+		coeffs[p] = uint2int(u[i])
+	}
+}

@@ -12,6 +12,12 @@ go build ./...
 echo "== go vet =="
 go vet ./...
 
+echo "== cross-compile arm64 (NEON dispatch path) =="
+# The arm64 assembly and dispatch hooks only compile under GOARCH=arm64,
+# so an amd64-only gate would let them rot.
+GOARCH=arm64 go build ./...
+GOARCH=arm64 go vet ./...
+
 echo "== arcvet (full suite + waivercheck, cold cache) =="
 # Built once so the cache benchmark below times the analysis, not the
 # toolchain. -waivercheck keeps //arcvet:ignore directives honest: a
@@ -82,8 +88,12 @@ go run ./cmd/benchmeta stream < /tmp/arc_bench_stream.txt > BENCH_stream.json
 echo "wrote BENCH_stream.json"
 
 echo "== kernel bench (recorded to BENCH_kernels.json) =="
-go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -benchmem -count=1 . | tee /tmp/arc_bench_kernels.txt
-# benchmeta enforces the word/scalar speedup floors.
+# The kernel pairs live in the root package plus the codec packages
+# that grew vectorized paths (core voting, SZ quantize, ZFP lift).
+go test -run '^$' -bench 'BenchmarkKernel' -benchtime=1s -benchmem -count=1 \
+    . ./internal/core ./internal/sz ./internal/zfp | tee /tmp/arc_bench_kernels.txt
+# benchmeta enforces the word/scalar speedup floors plus the
+# AVX2-over-SSSE3 tier ratio on hosts that report AVX2.
 go run ./cmd/benchmeta kernels < /tmp/arc_bench_kernels.txt > BENCH_kernels.json
 echo "wrote BENCH_kernels.json"
 
@@ -147,5 +157,11 @@ done
 
 echo "== service frame fuzz smoke (10s) =="
 go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 10s ./internal/service
+
+echo "== gf256 dispatch fuzz smoke (10s) =="
+# Differential fuzz across every SIMD tier the host supports: each
+# input must produce byte-identical results under avx2/ssse3/neon and
+# the word fallback.
+go test -run '^$' -fuzz '^FuzzGF256Dispatch$' -fuzztime 10s ./internal/gf256
 
 echo "verify: OK"
